@@ -1,0 +1,362 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the paper (one testing.B benchmark per artifact, BenchmarkTableN /
+// BenchmarkFigN) and additionally benchmarks the real host kernels the
+// library ships: the LBM engines, the microbenchmarks themselves, the
+// decomposition and the goroutine-parallel runner. Ablation benchmarks at
+// the end quantify the design choices DESIGN.md calls out.
+//
+// Run with: go test -bench=. -benchmem
+package repro
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/decomp"
+	"repro/internal/experiments"
+	"repro/internal/geometry"
+	"repro/internal/lbm"
+	"repro/internal/machine"
+	"repro/internal/mbench"
+	"repro/internal/par"
+	"repro/internal/perfmodel"
+	"repro/internal/simcloud"
+)
+
+// benchReport runs one experiment artifact per iteration, failing the
+// bench if regeneration errors.
+func benchReport(b *testing.B, f func() (experiments.Report, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Series) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkTable1Catalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Table1(); len(r.Series) != 5 {
+			b.Fatal("catalog incomplete")
+		}
+	}
+}
+
+func BenchmarkFig3StrongScaling(b *testing.B) { benchReport(b, experiments.Fig3) }
+func BenchmarkFig4ProxyScaling(b *testing.B)  { benchReport(b, experiments.Fig4) }
+func BenchmarkFig5Stream(b *testing.B)        { benchReport(b, experiments.Fig5) }
+func BenchmarkTable2Bandwidth(b *testing.B)   { benchReport(b, experiments.Table2) }
+func BenchmarkFig6PingPong(b *testing.B)      { benchReport(b, experiments.Fig6) }
+func BenchmarkTable3FitParams(b *testing.B)   { benchReport(b, experiments.Table3) }
+func BenchmarkTable4Noise(b *testing.B)       { benchReport(b, experiments.Table4) }
+func BenchmarkFig7ModelHarvey(b *testing.B)   { benchReport(b, experiments.Fig7) }
+func BenchmarkFig8ModelProxy(b *testing.B)    { benchReport(b, experiments.Fig8) }
+func BenchmarkFig9Composition(b *testing.B)   { benchReport(b, experiments.Fig9) }
+func BenchmarkFig10Composition(b *testing.B)  { benchReport(b, experiments.Fig10) }
+func BenchmarkFig11Heatmap(b *testing.B)      { benchReport(b, experiments.Fig11) }
+func BenchmarkExtGPU(b *testing.B)            { benchReport(b, experiments.ExtGPU) }
+func BenchmarkExtSharedNode(b *testing.B)     { benchReport(b, experiments.ExtSharedNode) }
+func BenchmarkExtTermSelection(b *testing.B)  { benchReport(b, experiments.ExtTermSelection) }
+func BenchmarkExtConvergence(b *testing.B)    { benchReport(b, experiments.ExtConvergence) }
+func BenchmarkExtWeakScaling(b *testing.B)    { benchReport(b, experiments.ExtWeakScaling) }
+func BenchmarkExtPulsatile(b *testing.B)      { benchReport(b, experiments.ExtPulsatile) }
+
+// --- Host kernel benchmarks -------------------------------------------
+
+// benchProxyKernel measures a proxy-app kernel variant on the host and
+// reports MFLUPS alongside ns/op.
+func benchProxyKernel(b *testing.B, cfg lbm.KernelConfig) {
+	b.Helper()
+	p, err := lbm.NewProxy(cfg, 64, 10, lbm.Params{Tau: 0.9, Force: [3]float64{1e-5, 0, 0}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Run(2) // warm both AA phases
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+	b.StopTimer()
+	updates := float64(p.FluidPoints()) * float64(b.N)
+	b.ReportMetric(updates/b.Elapsed().Seconds()/1e6, "MFLUPS")
+}
+
+func BenchmarkProxyAOSAB(b *testing.B) {
+	benchProxyKernel(b, lbm.KernelConfig{Layout: lbm.AOS, Pattern: lbm.AB})
+}
+func BenchmarkProxyAOSAA(b *testing.B) {
+	benchProxyKernel(b, lbm.KernelConfig{Layout: lbm.AOS, Pattern: lbm.AA})
+}
+func BenchmarkProxySOAAB(b *testing.B) {
+	benchProxyKernel(b, lbm.KernelConfig{Layout: lbm.SOA, Pattern: lbm.AB})
+}
+func BenchmarkProxySOAAA(b *testing.B) {
+	benchProxyKernel(b, lbm.KernelConfig{Layout: lbm.SOA, Pattern: lbm.AA})
+}
+func BenchmarkProxySOAABUnrolled(b *testing.B) {
+	benchProxyKernel(b, lbm.KernelConfig{Layout: lbm.SOA, Pattern: lbm.AB, Unrolled: true})
+}
+func BenchmarkProxySOAAAUnrolled(b *testing.B) {
+	benchProxyKernel(b, lbm.KernelConfig{Layout: lbm.SOA, Pattern: lbm.AA, Unrolled: true})
+}
+
+func BenchmarkHarveySerialStep(b *testing.B) {
+	dom, err := geometry.Aorta(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := lbm.NewSparse(dom, lbm.Params{Tau: 0.9, UMax: 0.02})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.N())*float64(b.N)/b.Elapsed().Seconds()/1e6, "MFLUPS")
+}
+
+func BenchmarkParallelRunner8Ranks(b *testing.B) {
+	dom, err := geometry.Cylinder(64, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := lbm.NewSparse(dom, lbm.Params{Tau: 0.9, PeriodicX: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := decomp.RCB(s, 8, lbm.HarveyAccess())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := par.NewRunner(s, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(1)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.N())*float64(b.N)/b.Elapsed().Seconds()/1e6, "MFLUPS")
+}
+
+func BenchmarkRCBDecomposition128(b *testing.B) {
+	dom, err := geometry.Cylinder(96, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := lbm.NewSparse(dom, lbm.Params{Tau: 0.9, PeriodicX: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := lbm.HarveyAccess()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decomp.RCB(s, 128, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamHostCopy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := mbench.StreamHost(mbench.Copy, 2, 1<<22, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPingPongHost4K(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := mbench.PingPongHost(4096, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatedRun144Ranks(b *testing.B) {
+	dom, err := geometry.Cylinder(96, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := lbm.NewSparse(dom, lbm.Params{Tau: 0.9, PeriodicX: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := decomp.RCB(s, 144, lbm.HarveyAccess())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := simcloud.FromPartition("cyl", s.N(), p)
+	sys := machine.NewCSP2()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simcloud.Run(w, sys, 100, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks ----------------------------------------------
+
+// BenchmarkAblationZModel quantifies the load-imbalance law's effect: the
+// generalized prediction with the fitted z(n) versus z pinned to 1
+// (perfect balance). The reported metric is the percentage by which
+// ignoring imbalance inflates the predicted MFLUPS at 128 ranks.
+func BenchmarkAblationZModel(b *testing.B) {
+	dom, err := geometry.Aorta(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := lbm.NewSparse(dom, lbm.Params{Tau: 0.9, UMax: 0.02})
+	if err != nil {
+		b.Fatal(err)
+	}
+	access := lbm.HarveyAccess()
+	sys := machine.NewCSP2()
+	c, err := perfmodel.Characterize(sys, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := perfmodel.CalibrateGeneral(s, access, []int{1, 2, 4, 8, 16, 32, 64, 128}, sys.CoresPerNode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	noZ := g
+	noZ.Z.C1 = 0 // z(n) == 1 for all n
+	ws := perfmodel.WorkloadSummary{Name: "aorta", Points: s.N(), BytesSerial: s.BytesSerial(access)}
+	var inflation float64
+	for i := 0; i < b.N; i++ {
+		with, err := c.PredictGeneral(ws, g, 128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		without, err := c.PredictGeneral(ws, noZ, 128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inflation = (without.MFLUPS/with.MFLUPS - 1) * 100
+	}
+	b.ReportMetric(inflation, "%inflation")
+}
+
+// BenchmarkAblationAAvsABTraffic reports the per-point effective-byte
+// ratio between the AB and AA patterns (unrolled SOA) — the traffic saving
+// behind Figure 4's upward shift.
+func BenchmarkAblationAAvsABTraffic(b *testing.B) {
+	ab := lbm.ProxyAccess(lbm.KernelConfig{Layout: lbm.SOA, Pattern: lbm.AB, Unrolled: true})
+	aa := lbm.ProxyAccess(lbm.KernelConfig{Layout: lbm.SOA, Pattern: lbm.AA, Unrolled: true})
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = ab.PointBytes(19) / aa.PointBytes(19)
+	}
+	b.ReportMetric(ratio, "AB/AA-bytes")
+}
+
+// BenchmarkAblationUnrolling measures the real host speedup of the
+// unrolled SOA-AB kernel over the rolled one.
+func BenchmarkAblationUnrolling(b *testing.B) {
+	run := func(cfg lbm.KernelConfig) float64 {
+		p, err := lbm.NewProxy(cfg, 48, 8, lbm.Params{Tau: 0.9, Force: [3]float64{1e-5, 0, 0}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		const steps = 10
+		p.Run(2)
+		start := time.Now()
+		p.Run(steps)
+		return float64(p.FluidPoints()) * steps / time.Since(start).Seconds()
+	}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rolled := run(lbm.KernelConfig{Layout: lbm.SOA, Pattern: lbm.AB})
+		unrolled := run(lbm.KernelConfig{Layout: lbm.SOA, Pattern: lbm.AB, Unrolled: true})
+		speedup = unrolled / rolled
+	}
+	b.ReportMetric(speedup, "unroll-speedup")
+}
+
+// BenchmarkAblationPrecision reports the Eq. 9 effective-byte ratio of
+// double over single precision (d_size 8 vs 4) for the HARVEY kernel —
+// the traffic a precision downgrade saves, which is how the paper's
+// d_size parameter enters resource planning.
+func BenchmarkAblationPrecision(b *testing.B) {
+	double := lbm.HarveyAccess()
+	single := double
+	single.DataSize = 4
+	quad := double
+	quad.DataSize = 16
+	var ratioSingle, ratioQuad float64
+	for i := 0; i < b.N; i++ {
+		ratioSingle = double.PointBytes(19) / single.PointBytes(19)
+		ratioQuad = quad.PointBytes(19) / double.PointBytes(19)
+	}
+	b.ReportMetric(ratioSingle, "fp64/fp32-bytes")
+	b.ReportMetric(ratioQuad, "fp128/fp64-bytes")
+}
+
+// BenchmarkAblationGridVsRCB reports the load-imbalance penalty of the
+// naive uniform-grid decomposition over RCB on the anatomical aorta.
+func BenchmarkAblationGridVsRCB(b *testing.B) {
+	dom, err := geometry.Aorta(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := lbm.NewSparse(dom, lbm.Params{Tau: 0.9, UMax: 0.02})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := lbm.HarveyAccess()
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		rcb, err := decomp.RCB(s, 27, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		grid, err := decomp.GridCube(s, 27, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		penalty = grid.Imbalance() / rcb.Imbalance()
+	}
+	b.ReportMetric(penalty, "grid/RCB-imbalance")
+}
+
+// BenchmarkAblationInterconnect reports the simulated MFLUPS ratio of
+// CSP-2 EC over CSP-2 at full scale — what the Enhanced Communicator buys.
+func BenchmarkAblationInterconnect(b *testing.B) {
+	dom, err := geometry.Cylinder(96, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := lbm.NewSparse(dom, lbm.Params{Tau: 0.9, PeriodicX: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := decomp.RCB(s, 144, lbm.HarveyAccess())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := simcloud.FromPartition("cyl", s.N(), p)
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		ec, err := simcloud.Run(w, machine.NewCSP2EC(), 20, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		noEC, err := simcloud.Run(w, machine.NewCSP2(), 20, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = ec.MFLUPS / noEC.MFLUPS
+	}
+	b.ReportMetric(gain, "EC-speedup")
+}

@@ -1,0 +1,123 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments              # run everything, in the paper's order
+//	experiments fig7 fig9    # run selected artifacts
+//	experiments -plot fig3   # additionally render ASCII charts
+//	experiments -list        # list artifact IDs
+//
+// Artifact IDs: table1 fig3 fig4 fig5 table2 fig6 table3 table4 fig7 fig8
+// fig9 fig10 fig11, plus the extension studies ext-gpu, ext-shared,
+// ext-terms, ext-convergence, ext-weak and ext-pulsatile (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/plot"
+)
+
+// renderPlots draws every series group of a report as an ASCII chart.
+// Series labeled "<group>/<kind>" are charted together per group.
+func renderPlots(r experiments.Report) string {
+	groups := map[string][]plot.Series{}
+	for label, pts := range r.Series {
+		group := label
+		if i := strings.IndexByte(label, '/'); i > 0 {
+			group = label[:i]
+		}
+		s := plot.Series{Label: label}
+		for _, p := range pts {
+			s.Points = append(s.Points, plot.Point{X: p.X, Y: p.Y})
+		}
+		groups[group] = append(groups[group], s)
+	}
+	names := make([]string, 0, len(groups))
+	for g := range groups {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, g := range names {
+		series := groups[g]
+		sort.Slice(series, func(i, j int) bool { return series[i].Label < series[j].Label })
+		// Rank sweeps and size sweeps read best on a log x axis.
+		b.WriteString(plot.Render(series, plot.Options{
+			Title: fmt.Sprintf("%s — %s", r.ID, g),
+			LogX:  true, Width: 72, Height: 18,
+		}))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+var registry = []struct {
+	id  string
+	run func() (experiments.Report, error)
+}{
+	{"table1", func() (experiments.Report, error) { return experiments.Table1(), nil }},
+	{"fig3", experiments.Fig3},
+	{"fig4", experiments.Fig4},
+	{"fig5", experiments.Fig5},
+	{"table2", experiments.Table2},
+	{"fig6", experiments.Fig6},
+	{"table3", experiments.Table3},
+	{"table4", experiments.Table4},
+	{"fig7", experiments.Fig7},
+	{"fig8", experiments.Fig8},
+	{"fig9", experiments.Fig9},
+	{"fig10", experiments.Fig10},
+	{"fig11", experiments.Fig11},
+	{"ext-gpu", experiments.ExtGPU},
+	{"ext-shared", experiments.ExtSharedNode},
+	{"ext-terms", experiments.ExtTermSelection},
+	{"ext-convergence", experiments.ExtConvergence},
+	{"ext-weak", experiments.ExtWeakScaling},
+	{"ext-pulsatile", experiments.ExtPulsatile},
+}
+
+func main() {
+	list := flag.Bool("list", false, "list artifact IDs and exit")
+	doPlot := flag.Bool("plot", false, "render ASCII charts of each report's series")
+	flag.Parse()
+	if *list {
+		for _, e := range registry {
+			fmt.Println(e.id)
+		}
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range registry {
+			ids = append(ids, e.id)
+		}
+	}
+	for _, id := range ids {
+		found := false
+		for _, e := range registry {
+			if e.id != id {
+				continue
+			}
+			found = true
+			r, err := e.run()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Printf("==== %s — %s ====\n%s\n", r.ID, r.Title, r.Text)
+			if *doPlot {
+				fmt.Println(renderPlots(r))
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "experiments: unknown artifact %q (use -list)\n", id)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command mbench runs the microbenchmarks: STREAM (memory bandwidth over
+// a thread sweep, Eq. 8 fit) and PingPong (message time over a size
+// sweep, Eq. 12 fit), either against the modeled catalog systems or on
+// the host machine itself.
+//
+// Examples:
+//
+//	mbench -stream -system CSP-2          # simulated STREAM sweep + fit
+//	mbench -pingpong -system "CSP-2 EC"   # simulated PingPong sweep + fit
+//	mbench -stream -host -threads 8       # measure this machine
+//	mbench -pingpong -host                # goroutine PingPong on this machine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+
+	"repro/internal/machine"
+	"repro/internal/mbench"
+)
+
+func main() {
+	var (
+		stream   = flag.Bool("stream", false, "run the STREAM benchmark")
+		pingpong = flag.Bool("pingpong", false, "run the PingPong benchmark")
+		host     = flag.Bool("host", false, "measure the host instead of a modeled system")
+		system   = flag.String("system", "CSP-2", "modeled system to characterize")
+		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "max threads for host STREAM")
+		samples  = flag.Int("samples", 5, "samples per point for simulated sweeps")
+		seed     = flag.Int64("seed", 1, "noise seed for simulated sweeps")
+	)
+	flag.Parse()
+	if !*stream && !*pingpong {
+		*stream, *pingpong = true, true
+	}
+
+	if *host {
+		if *stream {
+			fmt.Println("host STREAM (best of 5 trials, 64M elements):")
+			for _, k := range []mbench.StreamKernel{mbench.Copy, mbench.Scale, mbench.Add, mbench.Triad} {
+				for n := 1; n <= *threads; n *= 2 {
+					bw, err := mbench.StreamHost(k, n, 1<<26, 5)
+					fatal(err)
+					fmt.Printf("  %-6s %3d threads  %10.0f MB/s\n", k, n, bw)
+				}
+			}
+		}
+		if *pingpong {
+			fmt.Println("host PingPong (goroutine channels):")
+			for _, size := range []int{0, 64, 4096, 65536, 1 << 20} {
+				us, err := mbench.PingPongHost(size, 2000)
+				fatal(err)
+				fmt.Printf("  %10d bytes  %10.3f µs one-way\n", size, us)
+			}
+		}
+		return
+	}
+
+	sys, err := machine.ByAbbrev(*system)
+	fatal(err)
+	rng := rand.New(rand.NewSource(*seed))
+	if *stream {
+		pts := mbench.StreamSweepSim(sys, false, *samples, rng)
+		f, err := mbench.FitStream(pts)
+		fatal(err)
+		fmt.Printf("STREAM sweep on %s:\n", sys.Abbrev)
+		for _, p := range pts {
+			fmt.Printf("  %3d threads  %10.0f MB/s\n", p.Threads, p.BandwidthMBps)
+		}
+		fmt.Printf("two-line fit: a1=%.2f a2=%.2f a3=%.2f (R²=%.4f)\n", f.A1, f.A2, f.A3, f.R2)
+	}
+	if *pingpong {
+		for _, intra := range []bool{false, true} {
+			pts := mbench.PingPongSweepSim(sys, intra, mbench.DefaultMessageSizes(), *samples, rng)
+			link, line, err := mbench.FitPingPong(pts)
+			fatal(err)
+			kind := "inter-node"
+			if intra {
+				kind = "intra-node"
+			}
+			fmt.Printf("PingPong %s on %s: b=%.2f MB/s l=%.2f µs (R²=%.4f)\n",
+				kind, sys.Abbrev, link.BandwidthMBps, link.LatencyUS, line.R2)
+		}
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbench:", err)
+		os.Exit(1)
+	}
+}

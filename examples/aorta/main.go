@@ -1,0 +1,99 @@
+// Aorta: a real hemodynamic simulation on the synthetic aorta — Poiseuille
+// inflow at the root, zero-pressure outlets at the descending aorta and
+// arch branches — run in parallel on the host with goroutine ranks and
+// real halo exchange, then physically sanity-checked: the flow develops,
+// stays stable, and the parallel run matches a serial run bitwise.
+//
+// Run with: go run ./examples/aorta
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/decomp"
+	"repro/internal/geometry"
+	"repro/internal/lbm"
+	"repro/internal/par"
+)
+
+func main() {
+	dom, err := geometry.Aorta(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := dom.Stats()
+	fmt.Printf("synthetic aorta: %dx%dx%d sites, %d fluid (bulk:wall %.2f)\n",
+		dom.NX, dom.NY, dom.NZ, stats.Fluid, stats.BulkWallRatio)
+
+	params := lbm.Params{Tau: 0.9, UMax: 0.02}
+
+	// Serial reference.
+	serial, err := lbm.NewSparse(dom, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const steps = 150
+	t0 := time.Now()
+	serial.Run(steps)
+	serialSecs := time.Since(t0).Seconds()
+
+	// Parallel run over 8 goroutine ranks from the same initial state.
+	dom2, err := geometry.Aorta(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	solver, err := lbm.NewSparse(dom2, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	partition, err := decomp.RCB(solver, 8, lbm.HarveyAccess())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decomposition: 8 tasks, load imbalance z = %.3f, max events %d\n",
+		partition.Imbalance(), partition.MaxEvents())
+	runner, err := par.NewRunner(solver, partition)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 = time.Now()
+	runner.Run(steps)
+	parSecs := time.Since(t0).Seconds()
+
+	// Verify: bitwise agreement with the serial engine.
+	mismatches := 0
+	for si := 0; si < serial.N(); si++ {
+		if serial.Cell(si) != runner.Cell(si) {
+			mismatches++
+		}
+	}
+	fmt.Printf("serial %.2f MFLUPS, parallel(8) %.2f MFLUPS, mismatching sites: %d\n",
+		lbm.MFLUPS(serial.N(), steps, serialSecs),
+		lbm.MFLUPS(serial.N(), steps, parSecs), mismatches)
+	if mismatches != 0 {
+		log.Fatal("parallel run diverged from serial")
+	}
+
+	// Physics: the inflow jet has developed and the flow is stable.
+	runner.WriteBack(solver)
+	var peak float64
+	var inletFlux float64
+	for si := 0; si < solver.N(); si++ {
+		_, ux, uy, uz := solver.Macro(si)
+		v := ux*ux + uy*uy + uz*uz
+		if v > peak {
+			peak = v
+		}
+		if solver.Type(si) == geometry.Inlet {
+			inletFlux += ux
+		}
+	}
+	fmt.Printf("inlet flux %.4f lattice units, peak speed %.4f (stable below 0.3)\n",
+		inletFlux, peak)
+	if peak > 0.09 { // peak speed squared
+		log.Fatal("flow unstable")
+	}
+	fmt.Println("OK: aorta flow developed, parallel == serial, physics stable")
+}

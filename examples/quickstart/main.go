@@ -1,0 +1,84 @@
+// Quickstart: the framework end to end in one screen.
+//
+//  1. Characterize the cloud catalog into a CSP Option Dashboard.
+//  2. Tune the performance model to an anatomy (a cylindrical vessel).
+//  3. Predict performance per instance and pick one.
+//  4. Run the job with a model-driven budget guard.
+//  5. Feed the measurement back into the model.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dashboard"
+	"repro/internal/geometry"
+	"repro/internal/lbm"
+	"repro/internal/machine"
+)
+
+func main() {
+	// 1. Phase one of Figure 1: microbenchmark every instance type.
+	fw, err := core.NewFramework(machine.Catalog(), 5, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Phase two: an anatomy and its tuned model.
+	dom, err := geometry.Cylinder(96, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	anatomy, err := fw.PrepareAnatomy("vessel", dom, lbm.Params{Tau: 0.9, UMax: 0.02})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("anatomy %q: %d fluid points\n", anatomy.Name, anatomy.Summary.Points)
+
+	// 3. Assess every instance for a 5000-step job on 64 cores and pick
+	// the best value per dollar.
+	const ranks, steps = 64, 5000
+	as, err := fw.Assess(anatomy, ranks, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(dashboard.RenderAssessments(as))
+	best, err := dashboard.Recommend(as, dashboard.MaxValue, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chosen instance: %s\n\n", best.System)
+
+	// 4. Plan the job with a guard and run it. The uncalibrated model
+	// carries a known optimistic bias (it cannot see kernel overheads), so
+	// a first job gets a generous 25% tolerance; after refinement the
+	// tolerance can drop to the paper's 10%.
+	spec, err := fw.PlanJob(anatomy, best.System, ranks, steps, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fw.Provider.RunJob(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job: %d/%d steps, %.2f MFLUPS, $%.4f (aborted: %v)\n",
+		res.StepsDone, steps, res.Result.MFLUPS, res.USD, res.Aborted)
+
+	// 5. Close the loop: record measured vs predicted.
+	pred, err := fw.PredictDirect(anatomy, best.System, ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fw.Record(anatomy, pred, res.Result); err != nil {
+		log.Fatal(err)
+	}
+	refined, err := fw.PredictDirect(anatomy, best.System, ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prediction before refinement: %.2f MFLUPS, after: %.2f (measured %.2f)\n",
+		pred.MFLUPS, refined.MFLUPS, res.Result.MFLUPS)
+}

@@ -1,0 +1,107 @@
+// Suspension: deformable cells in a vessel — the "full model" of the
+// paper's Eq. 2 with the cells terms active. Three immersed-boundary
+// cells ride a force-driven cylindrical flow; the run reports the Eq. 2
+// cost split (fluid bytes vs cell-coupling bytes), writes a VTK snapshot
+// for ParaView, and exercises checkpoint/restore mid-campaign, as a
+// preemptible cloud run would.
+//
+// Run with: go run ./examples/suspension
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cells"
+	"repro/internal/geometry"
+	"repro/internal/lbm"
+)
+
+func main() {
+	dom, err := geometry.Cylinder(48, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fluid, err := lbm.NewSparse(dom, lbm.Params{Tau: 0.9, PeriodicX: true, Force: [3]float64{5e-6, 0, 0}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cy, cz := float64(dom.NY-1)/2, float64(dom.NZ-1)/2
+	var cellList []*cells.Cell
+	for i, x := range []float64{10, 22, 34} {
+		c, err := cells.NewSphereCell(geometry.Vec3{X: x, Y: cy + float64(i-1)*2, Z: cz}, 2.5, 24, 0.05)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cellList = append(cellList, c)
+	}
+	sp, err := cells.NewSuspension(fluid, cellList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Compliant vessel wall: markers on every third wall site, anchored.
+	wall, err := cells.NewVesselWall(fluid, 0.05, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sp.AddWalls(wall); err != nil {
+		log.Fatal(err)
+	}
+
+	// Eq. 2 cost split for this configuration.
+	fluidBytes := fluid.BytesSerial(lbm.HarveyAccess())
+	acct := sp.Account()
+	wallAcct := sp.WallAccounting()
+	fmt.Printf("suspension: %d cells (%d markers) + compliant wall (%d markers) in %d fluid points\n",
+		len(cellList), sp.Markers(), sp.WallMarkers(), fluid.N())
+	fmt.Printf("per-step traffic: fluid %.2f MB, cells %.4f MB, walls %.4f MB\n",
+		fluidBytes/1e6, acct.Total()/1e6, wallAcct.Total()/1e6)
+
+	// First half of the campaign.
+	if err := sp.Run(150); err != nil {
+		log.Fatal(err)
+	}
+	// Checkpoint mid-flight (as before an instance preemption)...
+	var ckpt bytes.Buffer
+	if err := fluid.Checkpoint(&ckpt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint taken at step %d: %d bytes\n", fluid.Steps(), ckpt.Len())
+	// ...and restore into the same solver to prove the state survives.
+	if err := fluid.Restore(bytes.NewReader(ckpt.Bytes())); err != nil {
+		log.Fatal(err)
+	}
+	if err := sp.Run(150); err != nil {
+		log.Fatal(err)
+	}
+
+	for i, c := range cellList {
+		ctr := c.Centroid()
+		fmt.Printf("cell %d: centroid (%.1f, %.1f, %.1f), deformation %.3f\n",
+			i, ctr.X, ctr.Y, ctr.Z, c.Deformation())
+	}
+	fmt.Printf("wall deflection: %.4f lattice units (max)\n", wall.MaxDeflection())
+
+	// Wall shear stress — the clinical readout.
+	drag := 0.0
+	forces := fluid.WallForces()
+	for _, f := range forces {
+		drag += f.Magnitude()
+	}
+	fmt.Printf("wall shear: %d wall sites, mean force magnitude %.3g\n",
+		len(forces), drag/float64(len(forces)))
+
+	out, err := os.Create("suspension.vtk")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+	if err := fluid.WriteVTK(out, "cell suspension in cylindrical vessel"); err != nil {
+		log.Fatal(err)
+	}
+	fi, _ := out.Stat()
+	fmt.Printf("wrote suspension.vtk (%d KiB) — load it in ParaView\n", fi.Size()/1024)
+	fmt.Println("OK: coupled cells advected stably with Eq. 2 accounting")
+}

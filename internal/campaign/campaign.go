@@ -1,0 +1,339 @@
+// Package campaign runs complete simulation campaigns from a declarative
+// JSON configuration: a list of patient cases (geometry, resolution, job
+// length), a total budget, and an optimization objective. It drives the
+// full Figure 1 loop for each case — characterize once, tune per anatomy,
+// recommend an instance, guard the job, record telemetry — which is the
+// workflow a clinical simulation service would script.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/dashboard"
+	"repro/internal/geometry"
+	"repro/internal/lbm"
+	"repro/internal/units"
+)
+
+// PhysicalConfig declares a job in clinical units; the campaign derives
+// the lattice configuration (scale, timestep count, inlet velocity,
+// pulsatile waveform) through internal/units instead of requiring the
+// user to think in lattice quantities.
+type PhysicalConfig struct {
+	DiameterMM  float64 `json:"diameter_mm"`
+	PeakSpeedMS float64 `json:"peak_speed_ms"`
+	HeartRateHz float64 `json:"heart_rate_hz,omitempty"` // 0 = steady
+	SitesAcross int     `json:"sites_across"`            // lattice resolution
+	Beats       float64 `json:"beats"`                   // cardiac cycles to simulate
+}
+
+// JobConfig declares one patient case, either in lattice terms (Scale +
+// Steps) or physically (Physical).
+type JobConfig struct {
+	Name     string  `json:"name"`
+	Geometry string  `json:"geometry"` // cylinder, aorta, cerebral, stenosis or bifurcation
+	Scale    float64 `json:"scale,omitempty"`
+	Ranks    int     `json:"ranks"`
+	Steps    int     `json:"steps,omitempty"`
+	// Physical, when present, derives Scale, Steps and the solver
+	// parameters from clinical quantities; Scale and Steps must then be
+	// left unset.
+	Physical *PhysicalConfig `json:"physical,omitempty"`
+	// System pins the instance type; empty lets the dashboard recommend
+	// one under the campaign objective.
+	System string `json:"system,omitempty"`
+	// Tolerance for the model-driven time guard (default 0.25).
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// Spot requests preemptible capacity for this job.
+	Spot bool `json:"spot,omitempty"`
+}
+
+// Config declares a whole campaign.
+type Config struct {
+	Seed      int64       `json:"seed"`
+	BudgetUSD float64     `json:"budget_usd"`
+	Objective string      `json:"objective"` // max-throughput|min-cost|min-time|max-value
+	Deadline  float64     `json:"deadline_seconds,omitempty"`
+	Retries   int         `json:"retries,omitempty"` // spot preemption retries
+	Jobs      []JobConfig `json:"jobs"`
+}
+
+// Load parses and validates a campaign configuration.
+func Load(r io.Reader) (Config, error) {
+	var c Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("campaign: parsing config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// Validate checks the configuration before any money is spent.
+func (c *Config) Validate() error {
+	if c.BudgetUSD <= 0 {
+		return fmt.Errorf("campaign: budget_usd %g must be positive", c.BudgetUSD)
+	}
+	if _, err := objective(c.Objective); err != nil {
+		return err
+	}
+	if len(c.Jobs) == 0 {
+		return fmt.Errorf("campaign: no jobs declared")
+	}
+	seen := map[string]bool{}
+	for i := range c.Jobs {
+		j := &c.Jobs[i]
+		if j.Name == "" {
+			return fmt.Errorf("campaign: job %d has no name", i)
+		}
+		if seen[j.Name] {
+			return fmt.Errorf("campaign: duplicate job name %q", j.Name)
+		}
+		seen[j.Name] = true
+		switch j.Geometry {
+		case "cylinder", "aorta", "cerebral", "stenosis", "bifurcation":
+		default:
+			return fmt.Errorf("campaign: job %q has unknown geometry %q", j.Name, j.Geometry)
+		}
+		if j.Physical != nil {
+			if j.Scale != 0 || j.Steps != 0 {
+				return fmt.Errorf("campaign: job %q sets both physical and lattice quantities", j.Name)
+			}
+			ph := j.Physical
+			if ph.DiameterMM <= 0 || ph.PeakSpeedMS <= 0 || ph.SitesAcross < 8 || ph.Beats <= 0 {
+				return fmt.Errorf("campaign: job %q has incomplete physical spec %+v", j.Name, ph)
+			}
+			if ph.HeartRateHz == 0 {
+				// Steady flow: "beats" counts characteristic times D/U.
+			}
+		} else {
+			if j.Scale <= 0 {
+				return fmt.Errorf("campaign: job %q scale %g must be positive", j.Name, j.Scale)
+			}
+			if j.Steps < 1 {
+				return fmt.Errorf("campaign: job %q needs positive steps", j.Name)
+			}
+		}
+		if j.Ranks < 1 {
+			return fmt.Errorf("campaign: job %q needs positive ranks", j.Name)
+		}
+		if j.Tolerance < 0 {
+			return fmt.Errorf("campaign: job %q tolerance %g negative", j.Name, j.Tolerance)
+		}
+		if j.Tolerance == 0 {
+			j.Tolerance = 0.25
+		}
+	}
+	return nil
+}
+
+// objective maps the config string to a dashboard objective.
+func objective(s string) (dashboard.Objective, error) {
+	switch s {
+	case "max-throughput":
+		return dashboard.MaxThroughput, nil
+	case "min-cost":
+		return dashboard.MinCost, nil
+	case "min-time":
+		return dashboard.MinTime, nil
+	case "max-value", "":
+		return dashboard.MaxValue, nil
+	}
+	return 0, fmt.Errorf("campaign: unknown objective %q", s)
+}
+
+// buildGeometry constructs the declared domain at the given scale
+// (vessel radius in lattice sites).
+func buildGeometry(name string, scale float64) (*geometry.Domain, error) {
+	switch name {
+	case "cylinder":
+		return geometry.Cylinder(int(8*scale), scale)
+	case "aorta":
+		return geometry.Aorta(scale)
+	case "cerebral":
+		return geometry.Cerebral(scale/2, 4)
+	case "stenosis":
+		return geometry.StenosedCylinder(int(8*scale), scale, 0.5, scale*0.75)
+	case "bifurcation":
+		return geometry.Bifurcation(scale)
+	}
+	return nil, fmt.Errorf("campaign: unknown geometry %q", name)
+}
+
+// resolve turns a job config into concrete lattice quantities: the
+// geometry scale, the timestep count, the solver parameters, and any
+// configuration warnings from the units check.
+func resolve(j JobConfig) (scale float64, steps int, params lbm.Params, warnings []string, err error) {
+	params = lbm.Params{Tau: 0.9, UMax: 0.02}
+	if j.Physical == nil {
+		return j.Scale, j.Steps, params, nil, nil
+	}
+	ph := j.Physical
+
+	// Pick the relaxation time so the peak lattice speed lands at a safe
+	// target (standard LBM practice: at fixed resolution, tau sets the
+	// timestep and thus the velocity scale). Coarse grids at high
+	// Reynolds push tau toward 1/2; the TRT operator keeps those stable.
+	const targetU = 0.05
+	re := ph.PeakSpeedMS * ph.DiameterMM * 1e-3 / units.BloodKinematicViscosity
+	nuLat := targetU * float64(ph.SitesAcross) / re
+	tau := 3*nuLat + 0.5
+	switch {
+	case tau < 0.505:
+		return 0, 0, params, nil, fmt.Errorf(
+			"campaign: job %q needs tau %.4f to reach lattice speed %.2f at Re %.0f — increase sites_across",
+			j.Name, tau, targetU, re)
+	case tau < 0.55:
+		params.Collision = lbm.TRT
+		warnings = append(warnings, fmt.Sprintf("tau %.3f near the stability limit: using TRT", tau))
+	case tau > 2:
+		tau = 2 // very low Re: cap tau, accept a slower lattice speed
+	}
+	params.Tau = tau
+
+	conv, err := units.Convert(units.Physical{
+		DiameterM:   ph.DiameterMM * 1e-3,
+		PeakSpeedMS: ph.PeakSpeedMS,
+		HeartRateHz: ph.HeartRateHz,
+	}, units.Lattice{SitesAcross: ph.SitesAcross, Tau: params.Tau})
+	if err != nil {
+		return 0, 0, params, nil, fmt.Errorf("campaign: job %q units: %w", j.Name, err)
+	}
+	warnings = append(warnings, conv.Check()...)
+	scale = float64(ph.SitesAcross) / 2
+	params.UMax = conv.ULattice
+	if ph.HeartRateHz > 0 {
+		params.Pulsatile = lbm.Waveform{Period: conv.StepsPerBeat, Amplitude: 0.5}
+		steps = int(ph.Beats * conv.StepsPerBeat)
+	} else {
+		// Steady flow: "beats" counts flow-through times D/U.
+		flowThrough := ph.DiameterMM * 1e-3 / ph.PeakSpeedMS
+		steps = conv.StepsForPhysicalTime(ph.Beats * flowThrough)
+	}
+	if steps < 1 {
+		return 0, 0, params, warnings, fmt.Errorf("campaign: job %q resolves to %d steps", j.Name, steps)
+	}
+	return scale, steps, params, warnings, nil
+}
+
+// JobOutcome reports one executed job.
+type JobOutcome struct {
+	Name      string
+	System    string
+	Planned   bool // false when skipped for budget
+	Result    cloud.JobResult
+	Predicted float64 // predicted MFLUPS at plan time
+}
+
+// Summary reports a finished campaign.
+type Summary struct {
+	Outcomes []JobOutcome
+	Skipped  []string
+	Warnings []string // units-check findings, prefixed with the job name
+	SpentUSD float64
+}
+
+// Render formats the summary as a text report.
+func (s Summary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-12s %10s %12s %12s %10s %s\n",
+		"job", "system", "steps", "predicted", "measured", "USD", "status")
+	for _, o := range s.Outcomes {
+		status := "completed"
+		if o.Result.Preempted {
+			status = "preempted"
+		} else if o.Result.Aborted {
+			status = "aborted: " + o.Result.AbortReason
+		}
+		fmt.Fprintf(&b, "%-22s %-12s %10d %12.2f %12.2f %10.4f %s\n",
+			o.Name, o.System, o.Result.StepsDone, o.Predicted, o.Result.Result.MFLUPS,
+			o.Result.USD, status)
+	}
+	for _, name := range s.Skipped {
+		fmt.Fprintf(&b, "%-22s %-12s %10s %12s %12s %10s %s\n",
+			name, "-", "-", "-", "-", "-", "skipped (budget)")
+	}
+	for _, w := range s.Warnings {
+		fmt.Fprintf(&b, "warning: %s\n", w)
+	}
+	fmt.Fprintf(&b, "total spend: $%.4f\n", s.SpentUSD)
+	return b.String()
+}
+
+// Run executes the campaign against a framework (which carries the
+// characterized dashboard and simulated provider).
+func Run(fw *core.Framework, cfg Config) (Summary, error) {
+	if err := cfg.Validate(); err != nil {
+		return Summary{}, err
+	}
+	obj, err := objective(cfg.Objective)
+	if err != nil {
+		return Summary{}, err
+	}
+	runner := cloud.Campaign{Provider: fw.Provider, BudgetUSD: cfg.BudgetUSD, MaxRetries: cfg.Retries}
+	var summary Summary
+	for _, j := range cfg.Jobs {
+		scale, steps, params, warnings, err := resolve(j)
+		if err != nil {
+			return Summary{}, err
+		}
+		for _, w := range warnings {
+			summary.Warnings = append(summary.Warnings, j.Name+": "+w)
+		}
+		dom, err := buildGeometry(j.Geometry, scale)
+		if err != nil {
+			return Summary{}, err
+		}
+		anatomy, err := fw.PrepareAnatomy(j.Name, dom, params)
+		if err != nil {
+			return Summary{}, fmt.Errorf("campaign: preparing %q: %w", j.Name, err)
+		}
+		system := j.System
+		if system == "" {
+			best, err := fw.Recommend(anatomy, j.Ranks, steps, obj, cfg.Deadline)
+			if err != nil {
+				return Summary{}, fmt.Errorf("campaign: recommending for %q: %w", j.Name, err)
+			}
+			system = best.System
+		}
+		pred, err := fw.PredictDirect(anatomy, system, j.Ranks)
+		if err != nil {
+			return Summary{}, err
+		}
+		spec, err := fw.PlanJob(anatomy, system, j.Ranks, steps, j.Tolerance)
+		if err != nil {
+			return Summary{}, fmt.Errorf("campaign: planning %q: %w", j.Name, err)
+		}
+		spec.Spot = j.Spot
+
+		before := len(runner.Results)
+		if err := runner.Run([]cloud.JobSpec{spec}); err != nil {
+			return Summary{}, err
+		}
+		if len(runner.Results) == before {
+			summary.Skipped = append(summary.Skipped, j.Name)
+			continue
+		}
+		res := runner.Results[len(runner.Results)-1]
+		summary.Outcomes = append(summary.Outcomes, JobOutcome{
+			Name: j.Name, System: system, Planned: true,
+			Result: res, Predicted: pred.MFLUPS,
+		})
+		// Feed the refinement loop with completed, unaborted runs.
+		if !res.Aborted && res.StepsDone > 0 {
+			if err := fw.Record(anatomy, pred, res.Result); err != nil {
+				return Summary{}, err
+			}
+		}
+	}
+	summary.SpentUSD = fw.Provider.TotalSpend()
+	return summary, nil
+}

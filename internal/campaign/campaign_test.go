@@ -1,0 +1,226 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+const validConfig = `{
+  "seed": 7,
+  "budget_usd": 1.0,
+  "objective": "min-cost",
+  "deadline_seconds": 60,
+  "jobs": [
+    {"name": "patient-a", "geometry": "cylinder", "scale": 8, "ranks": 32, "steps": 500},
+    {"name": "patient-b", "geometry": "aorta", "scale": 6, "ranks": 32, "steps": 500, "tolerance": 0.3}
+  ]
+}`
+
+func TestLoadValid(t *testing.T) {
+	cfg, err := Load(strings.NewReader(validConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Jobs) != 2 || cfg.BudgetUSD != 1.0 {
+		t.Fatalf("config parsed wrong: %+v", cfg)
+	}
+	// Default tolerance filled in.
+	if cfg.Jobs[0].Tolerance != 0.25 {
+		t.Errorf("default tolerance = %v, want 0.25", cfg.Jobs[0].Tolerance)
+	}
+	if cfg.Jobs[1].Tolerance != 0.3 {
+		t.Errorf("explicit tolerance overridden: %v", cfg.Jobs[1].Tolerance)
+	}
+}
+
+func TestLoadRejectsBadConfigs(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`{"budget_usd": 0, "jobs": [{"name":"a","geometry":"aorta","scale":6,"ranks":4,"steps":10}]}`,
+		`{"budget_usd": 1, "jobs": []}`,
+		`{"budget_usd": 1, "objective": "wat", "jobs": [{"name":"a","geometry":"aorta","scale":6,"ranks":4,"steps":10}]}`,
+		`{"budget_usd": 1, "jobs": [{"name":"","geometry":"aorta","scale":6,"ranks":4,"steps":10}]}`,
+		`{"budget_usd": 1, "jobs": [{"name":"a","geometry":"spleen","scale":6,"ranks":4,"steps":10}]}`,
+		`{"budget_usd": 1, "jobs": [{"name":"a","geometry":"aorta","scale":0,"ranks":4,"steps":10}]}`,
+		`{"budget_usd": 1, "jobs": [{"name":"a","geometry":"aorta","scale":6,"ranks":0,"steps":10}]}`,
+		`{"budget_usd": 1, "jobs": [{"name":"a","geometry":"aorta","scale":6,"ranks":4,"steps":10},{"name":"a","geometry":"aorta","scale":6,"ranks":4,"steps":10}]}`,
+		`{"budget_usd": 1, "unknown_field": true, "jobs": [{"name":"a","geometry":"aorta","scale":6,"ranks":4,"steps":10}]}`,
+	}
+	for i, s := range bad {
+		if _, err := Load(strings.NewReader(s)); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRunCampaignEndToEnd(t *testing.T) {
+	cfg, err := Load(strings.NewReader(validConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := core.NewFramework(machine.Catalog(), 2, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Run(fw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Outcomes) != 2 {
+		t.Fatalf("outcomes: %d, want 2 (skipped: %v)", len(sum.Outcomes), sum.Skipped)
+	}
+	for _, o := range sum.Outcomes {
+		if o.Result.Aborted {
+			t.Errorf("job %s aborted: %s", o.Name, o.Result.AbortReason)
+		}
+		if o.Result.StepsDone != 500 {
+			t.Errorf("job %s incomplete: %d steps", o.Name, o.Result.StepsDone)
+		}
+		if o.System == "" || o.Predicted <= 0 {
+			t.Errorf("job %s missing plan info: %+v", o.Name, o)
+		}
+	}
+	if sum.SpentUSD <= 0 || sum.SpentUSD > cfg.BudgetUSD*1.5 {
+		t.Errorf("spend %v implausible for budget %v", sum.SpentUSD, cfg.BudgetUSD)
+	}
+	// Completed runs fed the refiner.
+	if fw.Refiner.Len() != 2 {
+		t.Errorf("refiner has %d records, want 2", fw.Refiner.Len())
+	}
+	text := sum.Render()
+	for _, want := range []string{"patient-a", "patient-b", "completed", "total spend"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunCampaignPinnedSystemAndSpot(t *testing.T) {
+	cfg := Config{
+		Seed: 3, BudgetUSD: 5, Objective: "max-value", Retries: 20,
+		Jobs: []JobConfig{{
+			Name: "spot-job", Geometry: "cylinder", Scale: 6,
+			Ranks: 16, Steps: 300, System: "CSP-2 Small", Spot: true, Tolerance: 0.5,
+		}},
+	}
+	fw, err := core.NewFramework(machine.Catalog(), 2, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Run(fw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Outcomes) != 1 {
+		t.Fatalf("outcomes: %+v", sum)
+	}
+	o := sum.Outcomes[0]
+	if o.System != "CSP-2 Small" {
+		t.Errorf("pinned system ignored: %s", o.System)
+	}
+	if o.Result.StepsDone != 300 {
+		t.Errorf("spot job incomplete: %d", o.Result.StepsDone)
+	}
+}
+
+func TestRunCampaignBudgetSkips(t *testing.T) {
+	cfg := Config{
+		Seed: 3, BudgetUSD: 1e-9, Objective: "min-cost",
+		Jobs: []JobConfig{{
+			Name: "too-expensive", Geometry: "cylinder", Scale: 6,
+			Ranks: 16, Steps: 300, System: "CSP-2 Small",
+		}},
+	}
+	fw, err := core.NewFramework(machine.Catalog(), 2, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Run(fw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Skipped) != 1 || len(sum.Outcomes) != 0 {
+		t.Errorf("budget skip failed: %+v", sum)
+	}
+	if !strings.Contains(sum.Render(), "skipped") {
+		t.Error("summary does not show the skip")
+	}
+}
+
+func TestPhysicalJobConfig(t *testing.T) {
+	cfg := Config{
+		Seed: 5, BudgetUSD: 5, Objective: "max-value",
+		Jobs: []JobConfig{{
+			Name: "coronary", Geometry: "cylinder", Ranks: 16,
+			System: "CSP-2 Small",
+			Physical: &PhysicalConfig{
+				DiameterMM: 3, PeakSpeedMS: 0.3, HeartRateHz: 1.2,
+				SitesAcross: 16, Beats: 0.002,
+			},
+		}},
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	scale, steps, params, _, err := resolve(cfg.Jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 8 {
+		t.Errorf("scale = %v, want 8 (16 sites across)", scale)
+	}
+	if steps < 1 {
+		t.Errorf("steps = %d", steps)
+	}
+	if params.UMax <= 0 || params.UMax > 0.3 {
+		t.Errorf("derived inlet speed %v out of range", params.UMax)
+	}
+	if params.Pulsatile.Period <= 0 {
+		t.Error("pulsatile waveform not derived from heart rate")
+	}
+	fw, err := core.NewFramework(machine.Catalog(), 2, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Run(fw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Outcomes) != 1 || sum.Outcomes[0].Result.StepsDone != steps {
+		t.Fatalf("physical job did not run to completion: %+v", sum)
+	}
+}
+
+func TestPhysicalConfigValidation(t *testing.T) {
+	base := JobConfig{
+		Name: "x", Geometry: "cylinder", Ranks: 4,
+		Physical: &PhysicalConfig{DiameterMM: 3, PeakSpeedMS: 0.3, SitesAcross: 16, Beats: 1},
+	}
+	mix := base
+	mix.Scale = 8 // both physical and lattice set
+	cfg := Config{BudgetUSD: 1, Jobs: []JobConfig{mix}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("want error for mixed physical+lattice spec")
+	}
+	incomplete := base
+	incomplete.Physical = &PhysicalConfig{DiameterMM: 3}
+	cfg = Config{BudgetUSD: 1, Jobs: []JobConfig{incomplete}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("want error for incomplete physical spec")
+	}
+	steady := base
+	steady.Physical = &PhysicalConfig{DiameterMM: 3, PeakSpeedMS: 0.3, SitesAcross: 16, Beats: 5}
+	_, steps, params, _, err := resolve(steady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params.Pulsatile.Period != 0 {
+		t.Error("steady physical job grew a waveform")
+	}
+	if steps < 1 {
+		t.Errorf("steady steps = %d", steps)
+	}
+}

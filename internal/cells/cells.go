@@ -1,0 +1,271 @@
+// Package cells adds the deformable-cell terms of the paper's full
+// performance model (Eq. 2): HARVEY supports "explicit deformable cells
+// modeled with the Immersed Boundary Method", whose runtime contributes
+// t_pos (marker advection by interpolated fluid velocity), t_forces
+// (elastic restoring forces) and the force spread back to the lattice.
+// This package implements that coupling — a marker-and-spring immersed
+// boundary suspension over the sparse LBM engine — together with the
+// per-timestep byte accounting those model terms consume.
+//
+// The membrane model is deliberately simple (markers tethered to a rigid
+// reference shape about a free centroid): it advects with the flow,
+// resists deformation, and exercises exactly the interpolate/compute/
+// spread memory-access pattern whose cost Eq. 2 prices.
+package cells
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geometry"
+	"repro/internal/lbm"
+)
+
+// Cell is one suspended deformable body: markers plus their reference
+// offsets from the centroid.
+type Cell struct {
+	Markers   []geometry.Vec3 // current marker positions, lattice units
+	ref       []geometry.Vec3 // reference offsets from the centroid
+	Stiffness float64         // spring constant toward the reference shape
+}
+
+// NewSphereCell builds a cell with markers on a sphere of the given
+// radius about center, using a Fibonacci lattice for even coverage.
+func NewSphereCell(center geometry.Vec3, radius float64, markers int, stiffness float64) (*Cell, error) {
+	if markers < 4 {
+		return nil, fmt.Errorf("cells: need at least 4 markers, got %d", markers)
+	}
+	if radius <= 0 || stiffness <= 0 {
+		return nil, fmt.Errorf("cells: radius %g and stiffness %g must be positive", radius, stiffness)
+	}
+	c := &Cell{Stiffness: stiffness}
+	golden := math.Pi * (3 - math.Sqrt(5))
+	for i := 0; i < markers; i++ {
+		y := 1 - 2*float64(i)/float64(markers-1) // 1 .. -1
+		r := math.Sqrt(math.Max(0, 1-y*y))
+		th := golden * float64(i)
+		c.ref = append(c.ref, geometry.Vec3{
+			X: radius * r * math.Cos(th),
+			Y: radius * y,
+			Z: radius * r * math.Sin(th),
+		})
+	}
+	// Center the reference offsets exactly: the net elastic force on the
+	// fluid is -k * sum(ref) about the free centroid, so any residual mean
+	// would inject spurious momentum every timestep.
+	var mean geometry.Vec3
+	for _, o := range c.ref {
+		mean.X += o.X
+		mean.Y += o.Y
+		mean.Z += o.Z
+	}
+	n := float64(markers)
+	mean = geometry.Vec3{X: mean.X / n, Y: mean.Y / n, Z: mean.Z / n}
+	for i := range c.ref {
+		c.ref[i] = c.ref[i].Sub(mean)
+		c.Markers = append(c.Markers, geometry.Vec3{
+			X: center.X + c.ref[i].X,
+			Y: center.Y + c.ref[i].Y,
+			Z: center.Z + c.ref[i].Z,
+		})
+	}
+	return c, nil
+}
+
+// Centroid returns the mean marker position.
+func (c *Cell) Centroid() geometry.Vec3 {
+	var s geometry.Vec3
+	for _, m := range c.Markers {
+		s.X += m.X
+		s.Y += m.Y
+		s.Z += m.Z
+	}
+	n := float64(len(c.Markers))
+	return geometry.Vec3{X: s.X / n, Y: s.Y / n, Z: s.Z / n}
+}
+
+// Deformation returns the RMS distance of markers from their reference
+// positions about the current centroid — zero for an undeformed cell.
+func (c *Cell) Deformation() float64 {
+	ctr := c.Centroid()
+	var ss float64
+	for i, m := range c.Markers {
+		dx := m.X - (ctr.X + c.ref[i].X)
+		dy := m.Y - (ctr.Y + c.ref[i].Y)
+		dz := m.Z - (ctr.Z + c.ref[i].Z)
+		ss += dx*dx + dy*dy + dz*dz
+	}
+	return math.Sqrt(ss / float64(len(c.Markers)))
+}
+
+// Suspension couples cells to a fluid solver through the immersed
+// boundary cycle.
+type Suspension struct {
+	Fluid *lbm.Sparse
+	Cells []*Cell
+
+	force []float64 // the solver's per-site force field
+
+	// Accounting of the Eq. 2 terms, per timestep (constant given the
+	// marker count): bytes touched by interpolation (t_pos), force
+	// computation (t_forces) and spreading.
+	markerCount int
+
+	// Compliant vessel walls, attached via AddWalls (may be empty).
+	walls       []*Wall
+	wallMarkers int
+}
+
+// NewSuspension validates that every marker starts inside fluid and wires
+// the per-site force field.
+func NewSuspension(fluid *lbm.Sparse, cellList []*Cell) (*Suspension, error) {
+	if len(cellList) == 0 {
+		return nil, fmt.Errorf("cells: empty suspension")
+	}
+	sp := &Suspension{Fluid: fluid, Cells: cellList, force: fluid.EnableSiteForces()}
+	for ci, c := range cellList {
+		for mi, m := range c.Markers {
+			if !sp.inFluid(m) {
+				return nil, fmt.Errorf("cells: cell %d marker %d at (%.1f,%.1f,%.1f) is not in fluid",
+					ci, mi, m.X, m.Y, m.Z)
+			}
+			sp.markerCount++
+		}
+	}
+	return sp, nil
+}
+
+// inFluid reports whether all eight trilinear support sites of p are
+// fluid (the coupling stencil must not straddle solid).
+func (sp *Suspension) inFluid(p geometry.Vec3) bool {
+	x0, y0, z0 := int(math.Floor(p.X)), int(math.Floor(p.Y)), int(math.Floor(p.Z))
+	for dz := 0; dz <= 1; dz++ {
+		for dy := 0; dy <= 1; dy++ {
+			for dx := 0; dx <= 1; dx++ {
+				if sp.Fluid.SiteAt(x0+dx, y0+dy, z0+dz) < 0 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// trilinear visits the eight support sites of p with their interpolation
+// weights. It returns false if any support site is solid.
+func (sp *Suspension) trilinear(p geometry.Vec3, visit func(si int, w float64)) bool {
+	x0 := math.Floor(p.X)
+	y0 := math.Floor(p.Y)
+	z0 := math.Floor(p.Z)
+	fx, fy, fz := p.X-x0, p.Y-y0, p.Z-z0
+	for dz := 0; dz <= 1; dz++ {
+		wz := fz
+		if dz == 0 {
+			wz = 1 - fz
+		}
+		for dy := 0; dy <= 1; dy++ {
+			wy := fy
+			if dy == 0 {
+				wy = 1 - fy
+			}
+			for dx := 0; dx <= 1; dx++ {
+				wx := fx
+				if dx == 0 {
+					wx = 1 - fx
+				}
+				si := sp.Fluid.SiteAt(int(x0)+dx, int(y0)+dy, int(z0)+dz)
+				if si < 0 {
+					return false
+				}
+				visit(si, wx*wy*wz)
+			}
+		}
+	}
+	return true
+}
+
+// Step advances the coupled system one timestep: interpolate velocities
+// at the markers, advect them, compute elastic forces, spread the
+// reactions onto the lattice, then step the fluid.
+func (sp *Suspension) Step() error {
+	sp.Fluid.ClearSiteForces()
+	for ci, c := range sp.Cells {
+		// t_pos: advect markers with the interpolated fluid velocity.
+		for mi := range c.Markers {
+			var ux, uy, uz float64
+			ok := sp.trilinear(c.Markers[mi], func(si int, w float64) {
+				_, vx, vy, vz := sp.Fluid.Macro(si)
+				ux += w * vx
+				uy += w * vy
+				uz += w * vz
+			})
+			if !ok {
+				return fmt.Errorf("cells: cell %d marker %d left the fluid", ci, mi)
+			}
+			c.Markers[mi].X += ux
+			c.Markers[mi].Y += uy
+			c.Markers[mi].Z += uz
+		}
+		// t_forces: elastic restoring forces toward the reference shape
+		// about the moved centroid. Markers are massless in the classical
+		// immersed boundary method: the membrane force acts on the fluid
+		// (spread trilinearly), and the no-slip advection above is the
+		// only thing that moves markers.
+		ctr := c.Centroid()
+		for mi := range c.Markers {
+			target := geometry.Vec3{X: ctr.X + c.ref[mi].X, Y: ctr.Y + c.ref[mi].Y, Z: ctr.Z + c.ref[mi].Z}
+			fx := -c.Stiffness * (c.Markers[mi].X - target.X)
+			fy := -c.Stiffness * (c.Markers[mi].Y - target.Y)
+			fz := -c.Stiffness * (c.Markers[mi].Z - target.Z)
+			if ok := sp.trilinear(c.Markers[mi], func(si int, w float64) {
+				sp.force[si*3] += w * fx
+				sp.force[si*3+1] += w * fy
+				sp.force[si*3+2] += w * fz
+			}); !ok {
+				return fmt.Errorf("cells: cell %d marker %d left the fluid during force spreading", ci, mi)
+			}
+		}
+	}
+	sp.stepWalls()
+	sp.Fluid.Step()
+	return nil
+}
+
+// Run advances the given number of coupled timesteps.
+func (sp *Suspension) Run(steps int) error {
+	for i := 0; i < steps; i++ {
+		if err := sp.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Markers returns the total marker count across all cells.
+func (sp *Suspension) Markers() int { return sp.markerCount }
+
+// Accounting quantifies the per-timestep memory traffic of the cell
+// terms — the t_pos/t_forces/t_halo-cells inputs Eq. 2 adds on top of
+// the fluid-only model.
+type Accounting struct {
+	PosBytes    float64 // velocity interpolation: 8 sites x 19 dists read per marker
+	ForceBytes  float64 // marker state read/write per marker
+	SpreadBytes float64 // 8 sites x 3 force components read-modify-write
+}
+
+// Total returns the summed cell-term bytes per timestep.
+func (a Accounting) Total() float64 { return a.PosBytes + a.ForceBytes + a.SpreadBytes }
+
+// Account returns the suspension's per-timestep byte traffic.
+func (sp *Suspension) Account() Accounting {
+	m := float64(sp.markerCount)
+	const d = 8 // float64
+	return Accounting{
+		// Macro() reads all 19 distributions at each of 8 support sites.
+		PosBytes: m * 8 * lbm.NQ * d,
+		// Marker positions and reference offsets: read+write 3 components.
+		ForceBytes: m * (3*2 + 3) * d,
+		// Spread: read-modify-write 3 force components at 8 sites.
+		SpreadBytes: m * 8 * 3 * 2 * d,
+	}
+}

@@ -1,0 +1,214 @@
+package cells
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/lbm"
+)
+
+// flowCase builds a force-driven periodic cylinder with one suspended
+// cell near the axis.
+func flowCase(t *testing.T, radius, cellR float64, markers int) (*lbm.Sparse, *Suspension) {
+	t.Helper()
+	dom, err := geometry.Cylinder(32, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluid, err := lbm.NewSparse(dom, lbm.Params{Tau: 0.9, PeriodicX: true, Force: [3]float64{5e-6, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := geometry.Vec3{X: 8, Y: float64(dom.NY-1) / 2, Z: float64(dom.NZ-1) / 2}
+	cell, err := NewSphereCell(c, cellR, markers, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewSuspension(fluid, []*Cell{cell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fluid, sp
+}
+
+func TestNewSphereCellGeometry(t *testing.T) {
+	ctr := geometry.Vec3{X: 10, Y: 10, Z: 10}
+	c, err := NewSphereCell(ctr, 3, 32, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Markers) != 32 {
+		t.Fatalf("marker count %d, want 32", len(c.Markers))
+	}
+	// Markers near the sphere surface (offsets are re-centered, which
+	// shifts radii slightly) and the centroid exactly at the center.
+	for i, m := range c.Markers {
+		d := m.Sub(ctr).Norm()
+		if math.Abs(d-3) > 0.5 {
+			t.Errorf("marker %d at radius %v, want ~3", i, d)
+		}
+	}
+	got := c.Centroid()
+	if got.Sub(ctr).Norm() > 1e-9 {
+		t.Errorf("centroid %v not at center", got)
+	}
+	if d := c.Deformation(); d > 1e-9 {
+		t.Errorf("fresh cell deformation %v, want 0", d)
+	}
+	// Reference offsets sum to zero: internal forces are momentum-free.
+	var sum geometry.Vec3
+	for _, o := range c.ref {
+		sum.X += o.X
+		sum.Y += o.Y
+		sum.Z += o.Z
+	}
+	if sum.Norm() > 1e-9 {
+		t.Errorf("reference offsets sum to %v, want 0", sum)
+	}
+}
+
+func TestNewSphereCellValidation(t *testing.T) {
+	ctr := geometry.Vec3{}
+	if _, err := NewSphereCell(ctr, 3, 2, 0.1); err == nil {
+		t.Error("want error for too few markers")
+	}
+	if _, err := NewSphereCell(ctr, 0, 8, 0.1); err == nil {
+		t.Error("want error for zero radius")
+	}
+	if _, err := NewSphereCell(ctr, 3, 8, 0); err == nil {
+		t.Error("want error for zero stiffness")
+	}
+}
+
+func TestNewSuspensionRejectsMarkerInSolid(t *testing.T) {
+	dom, err := geometry.Cylinder(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluid, err := lbm.NewSparse(dom, lbm.Params{Tau: 0.9, PeriodicX: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cell centered at the domain corner straddles solid.
+	cell, err := NewSphereCell(geometry.Vec3{X: 2, Y: 1, Z: 1}, 2, 8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSuspension(fluid, []*Cell{cell}); err == nil {
+		t.Error("want error for marker outside fluid")
+	}
+	if _, err := NewSuspension(fluid, nil); err == nil {
+		t.Error("want error for empty suspension")
+	}
+}
+
+func TestCellAdvectsDownstream(t *testing.T) {
+	_, sp := flowCase(t, 8, 2, 16)
+	start := sp.Cells[0].Centroid()
+	// Let the flow develop, then watch the cell ride it.
+	if err := sp.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	end := sp.Cells[0].Centroid()
+	if end.X <= start.X {
+		t.Errorf("cell did not advect downstream: x %v -> %v", start.X, end.X)
+	}
+	// Lateral drift stays small on the axis.
+	if math.Abs(end.Y-start.Y) > 1.0 || math.Abs(end.Z-start.Z) > 1.0 {
+		t.Errorf("cell drifted off axis: (%v,%v) -> (%v,%v)", start.Y, start.Z, end.Y, end.Z)
+	}
+}
+
+func TestCellShapePreserved(t *testing.T) {
+	_, sp := flowCase(t, 8, 2, 16)
+	if err := sp.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	if d := sp.Cells[0].Deformation(); d > 0.5 {
+		t.Errorf("stiff cell deformed by %v lattice units", d)
+	}
+}
+
+func TestSuspensionMassConserved(t *testing.T) {
+	fluid, sp := flowCase(t, 8, 2, 16)
+	m0 := fluid.TotalMass()
+	if err := sp.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(fluid.TotalMass()-m0) / m0; rel > 1e-7 {
+		t.Errorf("mass drifted by %v with IBM forcing", rel)
+	}
+}
+
+func TestSuspensionStability(t *testing.T) {
+	fluid, sp := flowCase(t, 8, 2.5, 32)
+	if err := sp.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	if v := fluid.MaxSpeed(); v > 0.1 {
+		t.Errorf("coupled run unstable: max speed %v", v)
+	}
+}
+
+func TestAccountingScalesWithMarkers(t *testing.T) {
+	_, sp16 := flowCase(t, 8, 2, 16)
+	_, sp32 := flowCase(t, 8, 2, 32)
+	a16, a32 := sp16.Account(), sp32.Account()
+	if a16.Total() <= 0 {
+		t.Fatal("zero accounting")
+	}
+	if math.Abs(a32.Total()/a16.Total()-2) > 1e-9 {
+		t.Errorf("accounting not linear in markers: %v vs %v", a32.Total(), a16.Total())
+	}
+	if a16.PosBytes <= a16.SpreadBytes {
+		t.Error("interpolation (19 dists) should dominate spreading (3 comps)")
+	}
+	if sp16.Markers() != 16 || sp32.Markers() != 32 {
+		t.Error("marker counts wrong")
+	}
+}
+
+func TestCouplingPerturbsFluid(t *testing.T) {
+	// The IBM forces must actually reach the solver: the coupled velocity
+	// field differs from a cell-free run of the same flow.
+	dom, err := geometry.Cylinder(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := lbm.NewSparse(dom, lbm.Params{Tau: 0.9, PeriodicX: true, Force: [3]float64{5e-6, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free.Run(300)
+
+	_, sp := flowCase(t, 8, 2.5, 32)
+	if err := sp.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	var maxDiff float64
+	for si := 0; si < free.N(); si++ {
+		_, u0, v0, w0 := free.Macro(si)
+		_, u1, v1, w1 := sp.Fluid.Macro(si)
+		d := math.Abs(u1-u0) + math.Abs(v1-v0) + math.Abs(w1-w0)
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff < 1e-9 {
+		t.Errorf("coupled field identical to free field (max diff %v): forces not applied", maxDiff)
+	}
+	// A membrane deformed by shear resists it: the coupled flow carries
+	// less kinetic energy than the free flow at the same driving force.
+	energy := func(s *lbm.Sparse) float64 {
+		var e float64
+		for si := 0; si < s.N(); si++ {
+			_, ux, uy, uz := s.Macro(si)
+			e += ux*ux + uy*uy + uz*uz
+		}
+		return e
+	}
+	if ec, ef := energy(sp.Fluid), energy(free); ec >= ef {
+		t.Errorf("suspension did not dissipate: coupled %v vs free %v", ec, ef)
+	}
+}

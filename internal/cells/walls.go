@@ -1,0 +1,181 @@
+package cells
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geometry"
+	"repro/internal/lbm"
+)
+
+// Wall is the deformable-vessel-wall counterpart of a Cell: Lagrangian
+// markers seeded on the vessel surface, each anchored by a spring to its
+// rest position. Unlike suspended cells, wall markers do not ride the
+// flow freely — they deflect with it and are pulled back, a compliant
+// wall. This contributes the t_pos/walls, t_walls and t_forces/walls
+// terms of the paper's Eq. 2.
+type Wall struct {
+	Markers   []geometry.Vec3
+	rest      []geometry.Vec3
+	Stiffness float64
+}
+
+// NewVesselWall seeds wall markers on every spacing-th wall-classified
+// fluid site of the solver's domain. The rest configuration is the
+// undeformed geometry.
+func NewVesselWall(s *lbm.Sparse, stiffness float64, spacing int) (*Wall, error) {
+	if stiffness <= 0 {
+		return nil, fmt.Errorf("cells: wall stiffness %g must be positive", stiffness)
+	}
+	if spacing < 1 {
+		return nil, fmt.Errorf("cells: wall marker spacing %d must be >= 1", spacing)
+	}
+	w := &Wall{Stiffness: stiffness}
+	count := 0
+	for si := 0; si < s.N(); si++ {
+		if s.Type(si) != geometry.Wall {
+			continue
+		}
+		if count%spacing == 0 {
+			x, y, z := s.SiteCoords(si)
+			p := geometry.Vec3{X: float64(x), Y: float64(y), Z: float64(z)}
+			w.Markers = append(w.Markers, p)
+			w.rest = append(w.rest, p)
+		}
+		count++
+	}
+	if len(w.Markers) == 0 {
+		return nil, fmt.Errorf("cells: domain %q has no wall sites to seed", s.Dom.Name)
+	}
+	return w, nil
+}
+
+// MaxDeflection returns the largest marker displacement from rest.
+func (w *Wall) MaxDeflection() float64 {
+	var m float64
+	for i := range w.Markers {
+		if d := w.Markers[i].Sub(w.rest[i]).Norm(); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// AddWalls attaches compliant walls to the suspension. Must be called
+// before the first Step so the accounting stays consistent.
+func (sp *Suspension) AddWalls(walls ...*Wall) error {
+	for wi, w := range walls {
+		for mi, m := range w.Markers {
+			if !sp.inFluidOrBoundary(m) {
+				return fmt.Errorf("cells: wall %d marker %d has no fluid support", wi, mi)
+			}
+		}
+		sp.walls = append(sp.walls, w)
+		sp.wallMarkers += len(w.Markers)
+	}
+	return nil
+}
+
+// inFluidOrBoundary reports whether at least one trilinear support site
+// of p is fluid; wall markers sit at the fluid rim, where part of the
+// support stencil is solid by construction.
+func (sp *Suspension) inFluidOrBoundary(p geometry.Vec3) bool {
+	found := false
+	sp.trilinearPartial(p, func(int, float64) { found = true })
+	return found
+}
+
+// trilinearPartial visits the fluid subset of p's support sites with
+// renormalized weights, so coupling degrades gracefully at the rim
+// instead of failing.
+func (sp *Suspension) trilinearPartial(p geometry.Vec3, visit func(si int, w float64)) {
+	type hit struct {
+		si int
+		w  float64
+	}
+	var hits []hit
+	var total float64
+	sp.trilinearAll(p, func(si int, w float64) {
+		if si >= 0 {
+			hits = append(hits, hit{si, w})
+			total += w
+		}
+	})
+	if total <= 0 {
+		return
+	}
+	for _, h := range hits {
+		visit(h.si, h.w/total)
+	}
+}
+
+// trilinearAll visits all eight support slots (si may be -1 for solid).
+func (sp *Suspension) trilinearAll(p geometry.Vec3, visit func(si int, w float64)) {
+	x0 := int(math.Floor(p.X))
+	y0 := int(math.Floor(p.Y))
+	z0 := int(math.Floor(p.Z))
+	fx, fy, fz := p.X-math.Floor(p.X), p.Y-math.Floor(p.Y), p.Z-math.Floor(p.Z)
+	for dz := 0; dz <= 1; dz++ {
+		wz := fz
+		if dz == 0 {
+			wz = 1 - fz
+		}
+		for dy := 0; dy <= 1; dy++ {
+			wy := fy
+			if dy == 0 {
+				wy = 1 - fy
+			}
+			for dx := 0; dx <= 1; dx++ {
+				wx := fx
+				if dx == 0 {
+					wx = 1 - fx
+				}
+				visit(sp.Fluid.SiteAt(x0+dx, y0+dy, z0+dz), wx*wy*wz)
+			}
+		}
+	}
+}
+
+// stepWalls advects wall markers with the rim flow and spreads their
+// anchoring forces — the walls part of one coupled timestep.
+func (sp *Suspension) stepWalls() {
+	for _, w := range sp.walls {
+		for mi := range w.Markers {
+			// t_pos/walls: deflect with the local flow.
+			var ux, uy, uz float64
+			sp.trilinearPartial(w.Markers[mi], func(si int, wt float64) {
+				_, vx, vy, vz := sp.Fluid.Macro(si)
+				ux += wt * vx
+				uy += wt * vy
+				uz += wt * vz
+			})
+			w.Markers[mi].X += ux
+			w.Markers[mi].Y += uy
+			w.Markers[mi].Z += uz
+			// t_forces/walls: anchored springs; reaction on the fluid.
+			fx := -w.Stiffness * (w.Markers[mi].X - w.rest[mi].X)
+			fy := -w.Stiffness * (w.Markers[mi].Y - w.rest[mi].Y)
+			fz := -w.Stiffness * (w.Markers[mi].Z - w.rest[mi].Z)
+			sp.trilinearPartial(w.Markers[mi], func(si int, wt float64) {
+				sp.force[si*3] += wt * fx
+				sp.force[si*3+1] += wt * fy
+				sp.force[si*3+2] += wt * fz
+			})
+		}
+	}
+}
+
+// WallMarkers returns the total wall-marker count.
+func (sp *Suspension) WallMarkers() int { return sp.wallMarkers }
+
+// WallAccounting returns the per-timestep byte traffic of the wall terms,
+// the same access pattern as the cell terms over the wall marker count.
+func (sp *Suspension) WallAccounting() Accounting {
+	m := float64(sp.wallMarkers)
+	const d = 8
+	return Accounting{
+		PosBytes:    m * 8 * lbm.NQ * d,
+		ForceBytes:  m * (3*2 + 3) * d,
+		SpreadBytes: m * 8 * 3 * 2 * d,
+	}
+}

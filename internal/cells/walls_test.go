@@ -1,0 +1,166 @@
+package cells
+
+import (
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/lbm"
+)
+
+func TestNewVesselWallValidation(t *testing.T) {
+	_, sp := flowCase(t, 8, 2, 16)
+	if _, err := NewVesselWall(sp.Fluid, 0, 2); err == nil {
+		t.Error("want error for zero stiffness")
+	}
+	if _, err := NewVesselWall(sp.Fluid, 0.1, 0); err == nil {
+		t.Error("want error for zero spacing")
+	}
+	w, err := NewVesselWall(sp.Fluid, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Markers) == 0 {
+		t.Fatal("no wall markers seeded")
+	}
+	if w.MaxDeflection() != 0 {
+		t.Error("fresh wall already deflected")
+	}
+}
+
+func TestWallSpacingThinsMarkers(t *testing.T) {
+	_, sp := flowCase(t, 8, 2, 16)
+	dense, err := NewVesselWall(sp.Fluid, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewVesselWall(sp.Fluid, 0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sparse.Markers) >= len(dense.Markers) {
+		t.Errorf("spacing did not thin markers: %d vs %d", len(sparse.Markers), len(dense.Markers))
+	}
+	// Spacing 4 keeps roughly a quarter.
+	if r := float64(len(dense.Markers)) / float64(len(sparse.Markers)); r < 3 || r > 5 {
+		t.Errorf("spacing ratio %v, want ~4", r)
+	}
+}
+
+func TestCompliantWallDeflectsAndHolds(t *testing.T) {
+	// A driven flow deflects the compliant wall slightly; the anchoring
+	// springs keep the deflection bounded and the run stable.
+	_, sp := flowCase(t, 8, 2, 16)
+	w, err := NewVesselWall(sp.Fluid, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.AddWalls(w); err != nil {
+		t.Fatal(err)
+	}
+	if sp.WallMarkers() != len(w.Markers) {
+		t.Errorf("WallMarkers = %d, want %d", sp.WallMarkers(), len(w.Markers))
+	}
+	if err := sp.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	defl := w.MaxDeflection()
+	if defl <= 0 {
+		t.Error("wall did not deflect under flow")
+	}
+	if defl > 1.0 {
+		t.Errorf("wall deflection %v lattice units; anchoring failed", defl)
+	}
+	if v := sp.Fluid.MaxSpeed(); v > 0.1 {
+		t.Errorf("walled run unstable: %v", v)
+	}
+}
+
+func TestWallAccountingScales(t *testing.T) {
+	_, sp := flowCase(t, 8, 2, 16)
+	w, err := NewVesselWall(sp.Fluid, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.AddWalls(w); err != nil {
+		t.Fatal(err)
+	}
+	a := sp.WallAccounting()
+	if a.Total() <= 0 {
+		t.Fatal("zero wall accounting")
+	}
+	perMarker := a.Total() / float64(sp.WallMarkers())
+	cellAcct := sp.Account()
+	if perMarker != cellAcct.Total()/float64(sp.Markers()) {
+		t.Error("wall and cell per-marker accounting should match (same access pattern)")
+	}
+}
+
+func TestWallsMassConserved(t *testing.T) {
+	fluid, sp := flowCase(t, 8, 2, 16)
+	w, err := NewVesselWall(sp.Fluid, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.AddWalls(w); err != nil {
+		t.Fatal(err)
+	}
+	m0 := fluid.TotalMass()
+	if err := sp.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if rel := abs(fluid.TotalMass()-m0) / m0; rel > 1e-7 {
+		t.Errorf("mass drifted by %v with wall forcing", rel)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestAddWallsRejectsUnsupportedMarker(t *testing.T) {
+	_, sp := flowCase(t, 8, 2, 16)
+	bad := &Wall{
+		Markers:   []geometry.Vec3{{X: -50, Y: -50, Z: -50}},
+		rest:      []geometry.Vec3{{X: -50, Y: -50, Z: -50}},
+		Stiffness: 0.1,
+	}
+	if err := sp.AddWalls(bad); err == nil {
+		t.Error("want error for marker with no fluid support")
+	}
+}
+
+func TestWallOnAorta(t *testing.T) {
+	// Walls work on anatomical geometries too, not just the cylinder.
+	dom, err := geometry.Aorta(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluid, err := lbm.NewSparse(dom, lbm.Params{Tau: 0.9, UMax: 0.015})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := NewSphereCell(geometry.Vec3{X: 6, Y: 10, Z: float64(dom.NZ-1) / 2}, 1.5, 12, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewSuspension(fluid, []*Cell{cell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewVesselWall(fluid, 0.05, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.AddWalls(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Run(80); err != nil {
+		t.Fatal(err)
+	}
+	if v := fluid.MaxSpeed(); v > 0.2 {
+		t.Errorf("aorta walled run unstable: %v", v)
+	}
+}

@@ -1,0 +1,128 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpotDiscountApplied(t *testing.T) {
+	// With the hazard disabled, a spot job completes and is billed at the
+	// discounted rate for its own metered node-time.
+	w := testWorkload(t, 16)
+	p := newProvider()
+	p.PreemptionPerNodeHour = 0
+	sp, err := p.RunJob(JobSpec{Workload: w, System: "CSP-2 Small", Steps: 300, Spot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Preempted || sp.Aborted {
+		t.Fatalf("hazard-free spot job did not complete: %+v", sp)
+	}
+	sys, err := p.System("CSP-2 Small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sys.JobCost(16, sp.Result.Seconds) * SpotDiscount
+	if math.Abs(sp.USD-want) > 1e-15 {
+		t.Errorf("spot bill %v, want %v", sp.USD, want)
+	}
+}
+
+func TestSpotPreemptionFires(t *testing.T) {
+	p := newProvider()
+	p.PreemptionPerNodeHour = 1e7 // essentially certain per slice
+	w := testWorkload(t, 16)
+	res, err := p.RunJob(JobSpec{Workload: w, System: "CSP-2 Small", Steps: 400, Spot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Preempted || !res.Aborted {
+		t.Fatalf("job survived a certain hazard: %+v", res)
+	}
+	if res.StepsDone >= 400 {
+		t.Error("preempted job claims completion")
+	}
+	if res.AbortReason == "" {
+		t.Error("missing abort reason")
+	}
+}
+
+func TestOnDemandNeverPreempted(t *testing.T) {
+	p := newProvider()
+	p.PreemptionPerNodeHour = 1e7
+	w := testWorkload(t, 16)
+	res, err := p.RunJob(JobSpec{Workload: w, System: "CSP-2 Small", Steps: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preempted {
+		t.Error("on-demand job was preempted")
+	}
+}
+
+func TestCampaignRetriesPreemptedJob(t *testing.T) {
+	p := newProvider()
+	// Moderate hazard: preempts sometimes, so retries make progress.
+	p.PreemptionPerNodeHour = 2e5
+	w := testWorkload(t, 16)
+	c := Campaign{Provider: p, BudgetUSD: 100, MaxRetries: 50}
+	if err := c.Run([]JobSpec{{Workload: w, System: "CSP-2 Small", Steps: 400, Spot: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Results) != 1 {
+		t.Fatalf("campaign results: %d", len(c.Results))
+	}
+	res := c.Results[0]
+	if res.StepsDone != 400 {
+		t.Errorf("retries did not finish the job: %d/400 steps (%+v)", res.StepsDone, res)
+	}
+	if res.Preempted {
+		t.Error("final state still preempted after retries")
+	}
+}
+
+func TestCampaignRetryRespectsMax(t *testing.T) {
+	p := newProvider()
+	p.PreemptionPerNodeHour = 1e8 // always preempted
+	w := testWorkload(t, 16)
+	c := Campaign{Provider: p, BudgetUSD: 100, MaxRetries: 3}
+	if err := c.Run([]JobSpec{{Workload: w, System: "CSP-2 Small", Steps: 400, Spot: true}}); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Results[0]
+	if !res.Preempted {
+		t.Error("job should end preempted when hazard is certain")
+	}
+	if res.StepsDone >= 400 {
+		t.Error("impossible completion")
+	}
+	// 1 initial + 3 retries = 4 billing entries.
+	if got := len(p.Ledger()); got != 4 {
+		t.Errorf("ledger has %d entries, want 4", got)
+	}
+}
+
+func TestSpotCheaperDespiteRetries(t *testing.T) {
+	// The economics that make spot attractive: even paying for preempted
+	// partial runs, the discounted rate usually wins.
+	w := testWorkload(t, 16)
+
+	od := newProvider()
+	cOD := Campaign{Provider: od, BudgetUSD: 100}
+	if err := cOD.Run([]JobSpec{{Workload: w, System: "CSP-2 Small", Steps: 400}}); err != nil {
+		t.Fatal(err)
+	}
+
+	sp := newProvider()
+	sp.PreemptionPerNodeHour = 1e5 // occasional preemption
+	cSP := Campaign{Provider: sp, BudgetUSD: 100, MaxRetries: 50}
+	if err := cSP.Run([]JobSpec{{Workload: w, System: "CSP-2 Small", Steps: 400, Spot: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if cSP.Results[0].StepsDone != 400 {
+		t.Fatalf("spot campaign incomplete: %d steps", cSP.Results[0].StepsDone)
+	}
+	if sp.TotalSpend() >= od.TotalSpend() {
+		t.Errorf("spot ($%v) not cheaper than on-demand ($%v)", sp.TotalSpend(), od.TotalSpend())
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dashboard"
+	"repro/internal/geometry"
+	"repro/internal/lbm"
+	"repro/internal/machine"
+)
+
+func framework(t *testing.T) *Framework {
+	t.Helper()
+	fw, err := NewFramework(machine.Catalog(), 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+func anatomy(t *testing.T, fw *Framework) *Anatomy {
+	t.Helper()
+	dom, err := geometry.Cylinder(40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := fw.PrepareAnatomy("cylinder", dom, lbm.Params{Tau: 0.9, PeriodicX: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	fw := framework(t)
+	a := anatomy(t, fw)
+
+	// Predict both models.
+	direct, err := fw.PredictDirect(a, "CSP-2", 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	general, err := fw.PredictGeneral(a, "CSP-2", 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.MFLUPS <= 0 || general.MFLUPS <= 0 {
+		t.Fatalf("non-positive predictions: %v, %v", direct.MFLUPS, general.MFLUPS)
+	}
+
+	// Measure and record.
+	meas, err := fw.Measure(a, "CSP-2", 36, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.MFLUPS <= 0 {
+		t.Fatal("measurement not positive")
+	}
+	if err := fw.Record(a, direct, meas); err != nil {
+		t.Fatal(err)
+	}
+	if fw.Refiner.Len() != 1 {
+		t.Fatalf("refiner has %d records, want 1", fw.Refiner.Len())
+	}
+
+	// After recording, the refined prediction moves toward the measurement.
+	refined, err := fw.PredictDirect(a, "CSP-2", 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeErr := abs(direct.MFLUPS - meas.MFLUPS)
+	afterErr := abs(refined.MFLUPS - meas.MFLUPS)
+	if afterErr > beforeErr+1e-9 {
+		t.Errorf("refinement worsened the prediction: %v -> %v (measured %v)",
+			direct.MFLUPS, refined.MFLUPS, meas.MFLUPS)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestRefinementConvergesOverRounds(t *testing.T) {
+	// Iterative refinement: after several predict/measure/record rounds
+	// the direct model's error on this system must shrink substantially.
+	fw := framework(t)
+	a := anatomy(t, fw)
+	var firstErr, lastErr float64
+	for round := 0; round < 5; round++ {
+		pred, err := fw.PredictDirect(a, "CSP-2", 72)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas, err := fw.Measure(a, "CSP-2", 72, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relErr := abs(pred.MFLUPS-meas.MFLUPS) / meas.MFLUPS
+		if round == 0 {
+			firstErr = relErr
+		}
+		lastErr = relErr
+		if err := fw.Record(a, pred, meas); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if firstErr > 0.10 && lastErr > firstErr {
+		t.Errorf("refinement did not converge: first %.3f, last %.3f", firstErr, lastErr)
+	}
+	if lastErr > 0.25 {
+		t.Errorf("refined model still %.0f%% off", lastErr*100)
+	}
+}
+
+func TestPlanJobGuardsFromPrediction(t *testing.T) {
+	fw := framework(t)
+	a := anatomy(t, fw)
+	spec, err := fw.PlanJob(a, "CSP-2 Small", 32, 200, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.PredictedSeconds <= 0 || spec.MaxUSD <= 0 {
+		t.Fatalf("plan missing guards: %+v", spec)
+	}
+	if spec.Tolerance != 0.10 {
+		t.Errorf("tolerance %v, want 0.10", spec.Tolerance)
+	}
+	res, err := fw.Provider.RunJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With an honest model the job must complete un-aborted.
+	if res.Aborted {
+		t.Errorf("model-planned job aborted: %s", res.AbortReason)
+	}
+	if _, err := fw.PlanJob(a, "CSP-2 Small", 32, 200, -0.1); err == nil {
+		t.Error("want error for negative tolerance")
+	}
+}
+
+func TestRecommendEndToEnd(t *testing.T) {
+	fw := framework(t)
+	a := anatomy(t, fw)
+	best, err := fw.Recommend(a, 128, 1000, dashboard.MaxThroughput, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := fw.Assess(a, 128, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range as {
+		if x.MFLUPS > best.MFLUPS {
+			t.Errorf("recommendation %s (%v) beaten by %s (%v)", best.System, best.MFLUPS, x.System, x.MFLUPS)
+		}
+	}
+}
+
+func TestUnknownSystemErrors(t *testing.T) {
+	fw := framework(t)
+	a := anatomy(t, fw)
+	if _, err := fw.PredictDirect(a, "nope", 8); err == nil {
+		t.Error("want error for unknown system in PredictDirect")
+	}
+	if _, err := fw.PredictGeneral(a, "nope", 8); err == nil {
+		t.Error("want error for unknown system in PredictGeneral")
+	}
+	if _, err := fw.Measure(a, "nope", 8, 10); err == nil {
+		t.Error("want error for unknown system in Measure")
+	}
+	if _, err := fw.PlanJob(a, "nope", 8, 10, 0.1); err == nil {
+		t.Error("want error for unknown system in PlanJob")
+	}
+}
+
+func TestDefaultCalibrationCounts(t *testing.T) {
+	counts := defaultCalibrationCounts(10000)
+	if len(counts) < 3 {
+		t.Fatalf("too few counts: %v", counts)
+	}
+	if counts[0] != 1 {
+		t.Errorf("first count %d, want 1", counts[0])
+	}
+	// Tiny lattice still yields enough counts to fit.
+	tiny := defaultCalibrationCounts(10)
+	if len(tiny) < 3 {
+		t.Errorf("tiny lattice counts: %v", tiny)
+	}
+}
+
+func TestObserveFeedsMonitorAndRefiner(t *testing.T) {
+	fw := framework(t)
+	a := anatomy(t, fw)
+	for i := 0; i < 4; i++ {
+		if err := fw.Provider.Advance(21600); err != nil { // 6-hour cadence
+			t.Fatal(err)
+		}
+		pred, meas, err := fw.Observe(a, "CSP-2", 36, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred.MFLUPS <= 0 || meas.MFLUPS <= 0 {
+			t.Fatal("observe returned non-positive throughput")
+		}
+	}
+	if fw.Monitor.Len() != 4 {
+		t.Errorf("monitor has %d samples, want 4", fw.Monitor.Len())
+	}
+	if fw.Refiner.Len() != 4 {
+		t.Errorf("refiner has %d records, want 4", fw.Refiner.Len())
+	}
+	base, err := fw.Monitor.Baseline("cylinder", "CSP-2", 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.N != 4 || base.Mean <= 0 {
+		t.Errorf("baseline wrong: %+v", base)
+	}
+	// No regression in a healthy series.
+	regs, err := fw.Monitor.DetectRegressions(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("false regression: %+v", regs)
+	}
+}
+
+func TestPrepareAnatomyRejectsBadParams(t *testing.T) {
+	fw := framework(t)
+	dom, err := geometry.Cylinder(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.PrepareAnatomy("bad", dom, lbm.Params{Tau: 0.1}); err == nil {
+		t.Error("want error for unstable tau")
+	}
+}

@@ -1,0 +1,292 @@
+// Package dashboard implements the paper's CSP Option Dashboard (Figure
+// 1): characterize every candidate instance type once, tune the
+// performance model to an anatomy, and present per-instance predictions —
+// throughput, time to solution, cost, and the relative-value matrix
+// r_{B,A} of Eq. 17 (Figure 11) — so a user can pick hardware under a
+// cost, throughput, or deadline objective.
+package dashboard
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+)
+
+// Entry is one characterized instance type in the dashboard.
+type Entry struct {
+	System *machine.System
+	Char   *perfmodel.Characterization
+}
+
+// Dashboard holds phase one of the framework: all instance types
+// benchmarked and fitted.
+type Dashboard struct {
+	Entries []Entry
+}
+
+// Build characterizes every system. samples controls microbenchmark
+// averaging; rng may be nil for noiseless characterization.
+func Build(systems []*machine.System, samples int, rng *rand.Rand) (*Dashboard, error) {
+	if len(systems) == 0 {
+		return nil, fmt.Errorf("dashboard: no systems to characterize")
+	}
+	d := &Dashboard{}
+	for _, sys := range systems {
+		c, err := perfmodel.Characterize(sys, samples, rng)
+		if err != nil {
+			return nil, err
+		}
+		d.Entries = append(d.Entries, Entry{System: sys, Char: c})
+	}
+	return d, nil
+}
+
+// Entry returns the dashboard row for a system abbreviation.
+func (d *Dashboard) Entry(abbrev string) (Entry, error) {
+	for _, e := range d.Entries {
+		if e.System.Abbrev == abbrev {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("dashboard: system %q not characterized", abbrev)
+}
+
+// Assessment is the dashboard's verdict for one instance type on one
+// anatomy at a fixed core count.
+type Assessment struct {
+	System  string
+	Ranks   int
+	MFLUPS  float64 // generalized-model prediction
+	Seconds float64 // predicted time to solution for the job's steps
+	USD     float64 // predicted cost of the job
+	// MFLUPSPerDollarHour is the throughput-per-price decision metric the
+	// Discussion proposes ("weight these ratios by the relative cost").
+	MFLUPSPerDollarHour float64
+}
+
+// Assess evaluates every characterized system for a workload at the given
+// rank count and job length, using the anatomy-tuned generalized model.
+// Rank counts beyond an instance's size are allowed — the model
+// extrapolates, exactly as Figure 11 rates 2048-core runs on 144-core
+// instance types.
+func (d *Dashboard) Assess(ws perfmodel.WorkloadSummary, g perfmodel.GeneralModel, ranks, steps int) ([]Assessment, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("dashboard: steps %d must be positive", steps)
+	}
+	out := make([]Assessment, 0, len(d.Entries))
+	for _, e := range d.Entries {
+		pred, err := e.Char.PredictGeneral(ws, g, ranks)
+		if err != nil {
+			return nil, fmt.Errorf("dashboard: assessing %s: %w", e.System.Abbrev, err)
+		}
+		seconds := pred.SecondsPerStep * float64(steps)
+		nodes := (ranks + e.System.CoresPerNode - 1) / e.System.CoresPerNode
+		usd := float64(nodes) * seconds / 3600 * e.System.PricePerNodeHour
+		hourlyPrice := float64(nodes) * e.System.PricePerNodeHour
+		out = append(out, Assessment{
+			System:              e.System.Abbrev,
+			Ranks:               ranks,
+			MFLUPS:              pred.MFLUPS,
+			Seconds:             seconds,
+			USD:                 usd,
+			MFLUPSPerDollarHour: pred.MFLUPS / hourlyPrice,
+		})
+	}
+	return out, nil
+}
+
+// RelativeValue computes the Eq. 17 matrix: cell [i][j] is r_{B,A} with B
+// the row system and A the column system — how many times more throughput
+// row i delivers than column j. The diagonal is exactly 1.
+func RelativeValue(as []Assessment) [][]float64 {
+	m := make([][]float64, len(as))
+	for i := range as {
+		m[i] = make([]float64, len(as))
+		for j := range as {
+			if i == j {
+				m[i][j] = 1
+				continue
+			}
+			m[i][j] = as[i].MFLUPS / as[j].MFLUPS
+		}
+	}
+	return m
+}
+
+// Objective selects what the recommendation optimizes.
+type Objective int
+
+// Available objectives.
+const (
+	MaxThroughput Objective = iota // highest predicted MFLUPS
+	MinCost                        // lowest predicted dollars for the job
+	MinTime                        // shortest predicted time to solution
+	MaxValue                       // highest throughput per dollar-hour
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case MaxThroughput:
+		return "max-throughput"
+	case MinCost:
+		return "min-cost"
+	case MinTime:
+		return "min-time"
+	case MaxValue:
+		return "max-value"
+	}
+	return fmt.Sprintf("Objective(%d)", int(o))
+}
+
+// Recommend picks the best assessment under the objective. deadline, when
+// positive, excludes systems whose predicted time to solution exceeds it
+// (for MinCost under a turnaround requirement).
+func Recommend(as []Assessment, obj Objective, deadline float64) (Assessment, error) {
+	var candidates []Assessment
+	for _, a := range as {
+		if deadline > 0 && a.Seconds > deadline {
+			continue
+		}
+		candidates = append(candidates, a)
+	}
+	if len(candidates) == 0 {
+		return Assessment{}, fmt.Errorf("dashboard: no system meets the %gs deadline", deadline)
+	}
+	best := candidates[0]
+	for _, a := range candidates[1:] {
+		switch obj {
+		case MaxThroughput:
+			if a.MFLUPS > best.MFLUPS {
+				best = a
+			}
+		case MinCost:
+			if a.USD < best.USD {
+				best = a
+			}
+		case MinTime:
+			if a.Seconds < best.Seconds {
+				best = a
+			}
+		case MaxValue:
+			if a.MFLUPSPerDollarHour > best.MFLUPSPerDollarHour {
+				best = a
+			}
+		default:
+			return Assessment{}, fmt.Errorf("dashboard: unknown objective %v", obj)
+		}
+	}
+	return best, nil
+}
+
+// Crossover locates where two systems trade places for a workload: the
+// smallest rank count in [2, maxRanks] at which system a's predicted
+// throughput overtakes system b's, scanning powers of two. The paper's
+// reproduction target is exactly this — "where crossovers fall" — since
+// latency-light clusters win small jobs and bandwidth-rich cloud nodes
+// win large ones. Returns ok=false if a never overtakes b in range.
+func (d *Dashboard) Crossover(ws perfmodel.WorkloadSummary, g perfmodel.GeneralModel,
+	a, b string, maxRanks int) (ranks int, ok bool, err error) {
+	ea, err := d.Entry(a)
+	if err != nil {
+		return 0, false, err
+	}
+	eb, err := d.Entry(b)
+	if err != nil {
+		return 0, false, err
+	}
+	if maxRanks < 2 {
+		return 0, false, fmt.Errorf("dashboard: maxRanks %d must be at least 2", maxRanks)
+	}
+	for r := 2; r <= maxRanks; r *= 2 {
+		pa, err := ea.Char.PredictGeneral(ws, g, r)
+		if err != nil {
+			return 0, false, err
+		}
+		pb, err := eb.Char.PredictGeneral(ws, g, r)
+		if err != nil {
+			return 0, false, err
+		}
+		if pa.MFLUPS > pb.MFLUPS {
+			return r, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// Pareto returns the assessments on the time/cost Pareto frontier: the
+// options no other option beats on both predicted time to solution and
+// predicted dollars. The paper leaves the final trade-off to the user
+// ("it is ultimately up to the end user to determine what is important");
+// the frontier is exactly the set worth putting in front of them, sorted
+// fastest first.
+func Pareto(as []Assessment) []Assessment {
+	var frontier []Assessment
+	for i, a := range as {
+		dominated := false
+		for j, b := range as {
+			if i == j {
+				continue
+			}
+			if b.Seconds <= a.Seconds && b.USD <= a.USD &&
+				(b.Seconds < a.Seconds || b.USD < a.USD) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, a)
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool {
+		if frontier[i].Seconds != frontier[j].Seconds {
+			return frontier[i].Seconds < frontier[j].Seconds
+		}
+		return frontier[i].USD < frontier[j].USD
+	})
+	return frontier
+}
+
+// RenderHeatmap renders the Eq. 17 matrix as a text table in the layout
+// of Figure 11: B read from the left side, A from the top.
+func RenderHeatmap(as []Assessment, m [][]float64) string {
+	var b strings.Builder
+	width := 10
+	for _, a := range as {
+		if len(a.System)+2 > width {
+			width = len(a.System) + 2
+		}
+	}
+	fmt.Fprintf(&b, "%*s", width, "")
+	for _, a := range as {
+		fmt.Fprintf(&b, "%*s", width, a.System)
+	}
+	b.WriteByte('\n')
+	for i, a := range as {
+		fmt.Fprintf(&b, "%*s", width, a.System)
+		for j := range as {
+			fmt.Fprintf(&b, "%*.4f", width, m[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderAssessments renders the dashboard table sorted by descending
+// throughput.
+func RenderAssessments(as []Assessment) string {
+	sorted := append([]Assessment(nil), as...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].MFLUPS > sorted[j].MFLUPS })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %12s %12s %10s %14s\n",
+		"System", "Ranks", "MFLUPS", "Seconds", "USD", "MFLUPS/$*h")
+	for _, a := range sorted {
+		fmt.Fprintf(&b, "%-14s %8d %12.2f %12.2f %10.4f %14.2f\n",
+			a.System, a.Ranks, a.MFLUPS, a.Seconds, a.USD, a.MFLUPSPerDollarHour)
+	}
+	return b.String()
+}

@@ -1,0 +1,301 @@
+// Package decomp partitions a sparse LBM lattice across parallel tasks and
+// derives exactly the quantities the paper's performance models consume:
+// per-task point and byte counts (the direct model's n_bytes-j of Eq. 9),
+// halo message sizes and event counts between task pairs, and the measured
+// load-imbalance factors that the generalized model's z(n) law (Eqs. 10-11)
+// is fitted against.
+//
+// The partitioner is recursive coordinate bisection (RCB) over fluid
+// sites: at every level the current point set is split along the longest
+// axis of its bounding box, weighted by task share, which is the balanced
+// geometric decomposition HARVEY-class codes use.
+package decomp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geometry"
+	"repro/internal/lbm"
+)
+
+// Halo describes one direction of a pairwise halo exchange: the lattice
+// links crossing from one task to a specific peer.
+type Halo struct {
+	Peer  int // receiving task
+	Links int // (site, direction) pairs crossing per timestep
+}
+
+// Bytes returns the message payload per timestep.
+func (h Halo) Bytes() float64 { return float64(h.Links) * lbm.CommBytesPerLink }
+
+// Task summarizes one task's share of the decomposed workload.
+type Task struct {
+	ID     int
+	Points int                        // fluid sites owned
+	ByType map[geometry.PointType]int // composition of owned sites
+	Bytes  float64                    // memory bytes accessed per timestep (Eq. 9)
+	Sends  []Halo                     // outgoing halo messages, sorted by peer
+}
+
+// Events returns the number of send events per timestep (one per peer; the
+// matching receives are the peers' sends).
+func (t *Task) Events() int { return len(t.Sends) }
+
+// TotalSendBytes returns the bytes this task sends per timestep.
+func (t *Task) TotalSendBytes() float64 {
+	var b float64
+	for _, h := range t.Sends {
+		b += h.Bytes()
+	}
+	return b
+}
+
+// Partition is a complete decomposition of a lattice over NTasks tasks.
+type Partition struct {
+	NTasks int
+	Owner  []int32 // local sparse-site index -> owning task
+	Tasks  []Task
+}
+
+// RCB decomposes the lattice of s over ntasks tasks by recursive
+// coordinate bisection and computes all per-task statistics under access
+// model m.
+func RCB(s *lbm.Sparse, ntasks int, m lbm.AccessModel) (*Partition, error) {
+	n := s.N()
+	if ntasks < 1 {
+		return nil, fmt.Errorf("decomp: ntasks %d must be positive", ntasks)
+	}
+	if ntasks > n {
+		return nil, fmt.Errorf("decomp: ntasks %d exceeds fluid sites %d", ntasks, n)
+	}
+
+	// Gather site coordinates once.
+	xs := make([]int32, n)
+	ys := make([]int32, n)
+	zs := make([]int32, n)
+	for si := 0; si < n; si++ {
+		x, y, z := s.SiteCoords(si)
+		xs[si], ys[si], zs[si] = int32(x), int32(y), int32(z)
+	}
+
+	p := &Partition{NTasks: ntasks, Owner: make([]int32, n)}
+	sites := make([]int32, n)
+	for i := range sites {
+		sites[i] = int32(i)
+	}
+	bisect(sites, 0, ntasks, xs, ys, zs, p.Owner)
+
+	p.computeStats(s, m)
+	return p, nil
+}
+
+// bisect assigns tasks [task0, task0+k) to the given site set.
+func bisect(sites []int32, task0, k int, xs, ys, zs []int32, owner []int32) {
+	if k == 1 {
+		for _, si := range sites {
+			owner[si] = int32(task0)
+		}
+		return
+	}
+	// Longest axis of the bounding box.
+	var minX, maxX, minY, maxY, minZ, maxZ int32
+	minX, maxX = xs[sites[0]], xs[sites[0]]
+	minY, maxY = ys[sites[0]], ys[sites[0]]
+	minZ, maxZ = zs[sites[0]], zs[sites[0]]
+	for _, si := range sites[1:] {
+		if xs[si] < minX {
+			minX = xs[si]
+		}
+		if xs[si] > maxX {
+			maxX = xs[si]
+		}
+		if ys[si] < minY {
+			minY = ys[si]
+		}
+		if ys[si] > maxY {
+			maxY = ys[si]
+		}
+		if zs[si] < minZ {
+			minZ = zs[si]
+		}
+		if zs[si] > maxZ {
+			maxZ = zs[si]
+		}
+	}
+	coord := xs
+	switch {
+	case maxY-minY > maxX-minX && maxY-minY >= maxZ-minZ:
+		coord = ys
+	case maxZ-minZ > maxX-minX && maxZ-minZ > maxY-minY:
+		coord = zs
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		a, b := sites[i], sites[j]
+		if coord[a] != coord[b] {
+			return coord[a] < coord[b]
+		}
+		return a < b // deterministic tie-break
+	})
+	kLeft := k / 2
+	cut := len(sites) * kLeft / k
+	bisect(sites[:cut], task0, kLeft, xs, ys, zs, owner)
+	bisect(sites[cut:], task0+kLeft, k-kLeft, xs, ys, zs, owner)
+}
+
+// computeStats fills per-task points, bytes, composition and halos.
+func (p *Partition) computeStats(s *lbm.Sparse, m lbm.AccessModel) {
+	p.Tasks = make([]Task, p.NTasks)
+	for t := range p.Tasks {
+		p.Tasks[t].ID = t
+		p.Tasks[t].ByType = make(map[geometry.PointType]int, 4)
+	}
+	// links[t] accumulates crossing-link counts per peer for task t.
+	links := make([]map[int]int, p.NTasks)
+	for t := range links {
+		links[t] = make(map[int]int)
+	}
+	for si := 0; si < s.N(); si++ {
+		t := int(p.Owner[si])
+		task := &p.Tasks[t]
+		task.Points++
+		task.ByType[s.Type(si)]++
+		task.Bytes += m.PointBytes(s.Vectors(si))
+		for q := 1; q < lbm.NQ; q++ {
+			nb := s.Neighbor(si, q)
+			if nb < 0 {
+				continue
+			}
+			if peer := int(p.Owner[nb]); peer != t {
+				links[t][peer]++
+			}
+		}
+	}
+	for t := range p.Tasks {
+		peers := make([]int, 0, len(links[t]))
+		for peer := range links[t] {
+			peers = append(peers, peer)
+		}
+		sort.Ints(peers)
+		for _, peer := range peers {
+			p.Tasks[t].Sends = append(p.Tasks[t].Sends, Halo{Peer: peer, Links: links[t][peer]})
+		}
+	}
+}
+
+// MaxBytes returns the largest per-task memory byte count — the
+// max_j(n_bytes-j) of Eq. 10.
+func (p *Partition) MaxBytes() float64 {
+	var m float64
+	for i := range p.Tasks {
+		if p.Tasks[i].Bytes > m {
+			m = p.Tasks[i].Bytes
+		}
+	}
+	return m
+}
+
+// TotalBytes returns the summed per-task byte counts, which equals the
+// serial byte count (decomposition moves work, it does not create it).
+func (p *Partition) TotalBytes() float64 {
+	var t float64
+	for i := range p.Tasks {
+		t += p.Tasks[i].Bytes
+	}
+	return t
+}
+
+// Imbalance returns the measured load-imbalance factor: the ratio of the
+// busiest task's bytes to the perfectly balanced share. This is the
+// empirical z of Eq. 10 that the z(n) law of Eq. 11 is fitted against.
+func (p *Partition) Imbalance() float64 {
+	total := p.TotalBytes()
+	if total == 0 {
+		return 1
+	}
+	return p.MaxBytes() / (total / float64(p.NTasks))
+}
+
+// MaxSendBytes returns the largest per-task outgoing halo payload per
+// timestep.
+func (p *Partition) MaxSendBytes() float64 {
+	var m float64
+	for i := range p.Tasks {
+		if b := p.Tasks[i].TotalSendBytes(); b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// MaxEvents returns the largest per-task message-event count per timestep
+// (sends plus the matching receives), the empirical quantity Eq. 15
+// models.
+func (p *Partition) MaxEvents() int {
+	var m int
+	for i := range p.Tasks {
+		// Receives mirror sends in a symmetric halo exchange.
+		if e := 2 * p.Tasks[i].Events(); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// InterStats returns the busiest task's inter-node halo payload (bytes
+// per timestep, sends plus receives) and message-event count under block
+// placement of one task per core with the given node width. These are the
+// placement-aware observations the generalized model's communication laws
+// (Eqs. 13 and 15) are calibrated against.
+func (p *Partition) InterStats(coresPerNode int) (maxBytes float64, maxEvents int) {
+	nodeOf := func(task int) int { return task / coresPerNode }
+	for t := range p.Tasks {
+		var bytes float64
+		events := 0
+		for _, h := range p.Tasks[t].Sends {
+			if nodeOf(h.Peer) != nodeOf(t) {
+				bytes += 2 * h.Bytes() // send + matching receive
+				events += 2
+			}
+		}
+		if bytes > maxBytes {
+			maxBytes = bytes
+		}
+		if events > maxEvents {
+			maxEvents = events
+		}
+	}
+	return maxBytes, maxEvents
+}
+
+// Validate checks structural invariants: every site owned, point counts
+// summing to the lattice size, and halo symmetry (task a sends exactly as
+// many links to b as b sends to a, because crossing links pair up through
+// opposite directions).
+func (p *Partition) Validate(s *lbm.Sparse) error {
+	total := 0
+	for i := range p.Tasks {
+		total += p.Tasks[i].Points
+	}
+	if total != s.N() {
+		return fmt.Errorf("decomp: task points sum %d != %d fluid sites", total, s.N())
+	}
+	for _, o := range p.Owner {
+		if o < 0 || int(o) >= p.NTasks {
+			return fmt.Errorf("decomp: owner %d outside [0,%d)", o, p.NTasks)
+		}
+	}
+	sends := make(map[[2]int]int)
+	for t := range p.Tasks {
+		for _, h := range p.Tasks[t].Sends {
+			sends[[2]int{t, h.Peer}] = h.Links
+		}
+	}
+	for key, n := range sends {
+		back := sends[[2]int{key[1], key[0]}]
+		if back != n {
+			return fmt.Errorf("decomp: halo asymmetry %d->%d: %d vs %d links", key[0], key[1], n, back)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package decomp
+
+import (
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/lbm"
+)
+
+func TestGridValidation(t *testing.T) {
+	s := cylinderSolver(t)
+	m := lbm.HarveyAccess()
+	if _, err := Grid(s, 0, 1, 1, m); err == nil {
+		t.Error("want error for zero factor")
+	}
+	if _, err := Grid(s, 1000, 1000, 1000, m); err == nil {
+		t.Error("want error for more blocks than sites")
+	}
+}
+
+func TestGridCoversAllSites(t *testing.T) {
+	s := cylinderSolver(t)
+	p, err := Grid(s, 4, 2, 2, lbm.HarveyAccess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	if p.NTasks != 16 {
+		t.Errorf("NTasks = %d, want 16", p.NTasks)
+	}
+}
+
+func TestGridEmptyBlocksAllowed(t *testing.T) {
+	// A sparse anatomy under a fine grid leaves blocks with no fluid.
+	dom, err := geometry.Cerebral(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := solver(t, dom)
+	p, err := Grid(s, 4, 4, 4, lbm.HarveyAccess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := 0
+	for i := range p.Tasks {
+		if p.Tasks[i].Points == 0 {
+			empty++
+		}
+	}
+	if empty == 0 {
+		t.Error("expected empty blocks on a sparse tree geometry")
+	}
+	if err := p.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRCBBalancesBetterThanGrid(t *testing.T) {
+	// The reason HARVEY-class codes use balanced decompositions: on an
+	// anatomical geometry RCB's imbalance is far below the uniform grid's.
+	dom, err := geometry.Aorta(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := solver(t, dom)
+	m := lbm.HarveyAccess()
+	rcb, err := RCB(s, 27, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := GridCube(s, 27, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcb.Imbalance() >= grid.Imbalance() {
+		t.Errorf("RCB z=%v not below grid z=%v", rcb.Imbalance(), grid.Imbalance())
+	}
+	if grid.Imbalance() < 1.5 {
+		t.Errorf("grid on sparse anatomy should be badly imbalanced, z=%v", grid.Imbalance())
+	}
+}
+
+func TestGridCube(t *testing.T) {
+	s := cylinderSolver(t)
+	p, err := GridCube(s, 12, lbm.HarveyAccess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NTasks != 12 {
+		t.Errorf("NTasks = %d, want 12", p.NTasks)
+	}
+	if err := p.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GridCube(s, 0, lbm.HarveyAccess()); err == nil {
+		t.Error("want error for zero tasks")
+	}
+}
+
+func TestFactor3(t *testing.T) {
+	cases := []struct{ n, wantProduct int }{
+		{1, 1}, {8, 8}, {12, 12}, {27, 27}, {36, 36}, {17, 17}, {128, 128},
+	}
+	for _, c := range cases {
+		a, b, d := factor3(c.n)
+		if a*b*d != c.wantProduct {
+			t.Errorf("factor3(%d) = %d*%d*%d != %d", c.n, a, b, d, c.wantProduct)
+		}
+		if a < 1 || b < 1 || d < 1 {
+			t.Errorf("factor3(%d) returned non-positive factor", c.n)
+		}
+	}
+	// A perfect cube factors evenly.
+	if a, b, c := factor3(27); a != 3 || b != 3 || c != 3 {
+		t.Errorf("factor3(27) = %d,%d,%d, want 3,3,3", a, b, c)
+	}
+}
+
+func TestLargestDivisorAtMost(t *testing.T) {
+	if got := largestDivisorAtMost(12, 3); got != 3 {
+		t.Errorf("largestDivisorAtMost(12,3) = %d, want 3", got)
+	}
+	if got := largestDivisorAtMost(17, 4); got != 1 {
+		t.Errorf("largestDivisorAtMost(17,4) = %d, want 1", got)
+	}
+	if got := largestDivisorAtMost(10, 0); got != 1 {
+		t.Errorf("limit clamp failed: %d", got)
+	}
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+)
+
+// Table1 renders the hardware catalog exactly as Table I of the paper
+// lays it out.
+func Table1() Report {
+	cat := machine.Catalog()
+	var b strings.Builder
+	row := func(name string, f func(*machine.System) string) {
+		fmt.Fprintf(&b, "%-22s", name)
+		for _, s := range cat {
+			fmt.Fprintf(&b, "%-28s", f(s))
+		}
+		b.WriteByte('\n')
+	}
+	row("System", func(s *machine.System) string { return s.Name })
+	row("Abbreviation", func(s *machine.System) string { return s.Abbrev })
+	row("CPU", func(s *machine.System) string { return s.CPU })
+	row("CPU Clock (GHz)", func(s *machine.System) string { return fmt.Sprintf("%.2f", s.ClockGHz) })
+	row("Core Count", func(s *machine.System) string { return fmt.Sprintf("%d", s.TotalCores) })
+	row("Cores per Node", func(s *machine.System) string { return fmt.Sprintf("%d", s.CoresPerNode) })
+	row("Memory per Node (GB)", func(s *machine.System) string { return fmt.Sprintf("%.0f", s.MemPerNodeGB) })
+	row("Interconnect (Gbit/s)", func(s *machine.System) string { return fmt.Sprintf("%.0f", s.InterconnectGbps) })
+	row("Price ($/node-hour)", func(s *machine.System) string { return fmt.Sprintf("%.2f", s.PricePerNodeHour) })
+
+	series := map[string][]Point{}
+	for _, s := range cat {
+		series[s.Abbrev] = []Point{
+			{X: float64(s.CoresPerNode), Y: s.InterconnectGbps},
+		}
+	}
+	return Report{
+		ID:     "table1",
+		Title:  "Table I: hardware details for all tested instances",
+		Text:   b.String(),
+		Series: series,
+	}
+}

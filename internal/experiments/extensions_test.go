@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtGPUShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates GPU study")
+	}
+	r := report(t, "ext-gpu", ExtGPU)
+	// One GPU node outruns one CPU node by a large factor on memory-bound
+	// work.
+	gpu1 := value(t, r, "CSP-2 GPU/actual", 1)
+	cpu1 := value(t, r, "CSP-2/actual", 1)
+	if gpu1 < 3*cpu1 {
+		t.Errorf("GPU node (%v) not well above CPU node (%v)", gpu1, cpu1)
+	}
+	// The direct model with the t_CPU-GPU term tracks the simulated truth.
+	for nodes := 1.0; nodes <= 4; nodes++ {
+		a := value(t, r, "CSP-2 GPU/actual", nodes)
+		d := value(t, r, "CSP-2 GPU/direct", nodes)
+		if ratio := d / a; ratio < 0.5 || ratio > 2 {
+			t.Errorf("nodes=%v: GPU prediction %v vs actual %v", nodes, d, a)
+		}
+	}
+	if !strings.Contains(r.Text, "t_CPU-GPU") {
+		t.Error("report does not surface the t_CPU-GPU term")
+	}
+}
+
+func TestExtSharedNodeMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates shared-node study")
+	}
+	r := report(t, "ext-shared", ExtSharedNode)
+	for _, kind := range []string{"actual", "direct"} {
+		s := r.Series[kind]
+		if len(s) != 5 {
+			t.Fatalf("%s sweep has %d points, want 5", kind, len(s))
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i].Y >= s[i-1].Y {
+				t.Errorf("%s not monotone at occupancy %v: %v >= %v", kind, s[i].X, s[i].Y, s[i-1].Y)
+			}
+		}
+	}
+	// The occupancy-aware model tracks the simulated truth at every
+	// occupancy level.
+	for i, a := range r.Series["actual"] {
+		d := r.Series["direct"][i]
+		if ratio := d.Y / a.Y; ratio < 0.5 || ratio > 2 {
+			t.Errorf("occupancy %v: model %v vs actual %v", a.X, d.Y, a.Y)
+		}
+	}
+}
+
+func TestExtTermSelectionImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates term-selection study")
+	}
+	r := report(t, "ext-terms", ExtTermSelection)
+	base := value(t, r, "mape", 0)
+	final := value(t, r, "mape", 1)
+	if final >= base {
+		t.Errorf("feedback loop did not improve accuracy: %v -> %v", base, final)
+	}
+	if !strings.Contains(r.Text, "kernel-overhead") {
+		t.Error("overhead term not kept")
+	}
+	if !strings.Contains(r.Text, "flops") || !strings.Contains(strings.Split(r.Text, "rejected:")[1], "flops") {
+		t.Error("flops term not rejected")
+	}
+}
+
+func TestExtConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs steady-state convergence sweeps")
+	}
+	r := report(t, "ext-convergence", ExtConvergence)
+	s := r.Series["viscosity-error"]
+	if len(s) != 3 {
+		t.Fatalf("sweep has %d points, want 3", len(s))
+	}
+	// Error shrinks from coarsest to finest resolution, and the finest is
+	// comfortably inside the solver's validated tolerance.
+	if s[len(s)-1].Y >= s[0].Y {
+		t.Errorf("no convergence: error %v at r=%v vs %v at r=%v",
+			s[len(s)-1].Y, s[len(s)-1].X, s[0].Y, s[0].X)
+	}
+	if s[len(s)-1].Y > 0.02 {
+		t.Errorf("finest-grid viscosity error %v above 2%%", s[len(s)-1].Y)
+	}
+}
+
+func TestExtWeakScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs weak-scaling sweeps")
+	}
+	r := report(t, "ext-weak", ExtWeakScaling)
+	for _, sys := range []string{"CSP-2", "CSP-2 EC"} {
+		eff := r.Series[sys+"/efficiency"]
+		if len(eff) != 8 {
+			t.Fatalf("%s efficiency sweep has %d points", sys, len(eff))
+		}
+		if eff[0].Y != 1 {
+			t.Errorf("%s: base efficiency %v, want 1", sys, eff[0].Y)
+		}
+		// Within one node efficiency stays high; multi-node pays for the
+		// interconnect.
+		if v := value(t, r, sys+"/efficiency", 9); v < 0.8 {
+			t.Errorf("%s: single-node efficiency %v below 0.8", sys, v)
+		}
+		if v := value(t, r, sys+"/efficiency", 144); v > 0.8 {
+			t.Errorf("%s: 4-node efficiency %v suspiciously high", sys, v)
+		}
+		// Throughput still grows with the machine (weak scaling works).
+		if value(t, r, sys+"/mflups", 144) < 10*value(t, r, sys+"/mflups", 1) {
+			t.Errorf("%s: weak-scaled throughput did not grow", sys)
+		}
+	}
+	// EC holds efficiency better once nodes multiply.
+	if value(t, r, "CSP-2 EC/efficiency", 144) <= value(t, r, "CSP-2/efficiency", 144) {
+		t.Error("EC not above no-EC at 4-node weak scaling")
+	}
+}
+
+func TestExtPulsatile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs pulsatile cycles")
+	}
+	r := report(t, "ext-pulsatile", ExtPulsatile)
+	steady := value(t, r, "osi", 0)
+	puls := value(t, r, "osi", 1)
+	if steady > 0.05 {
+		t.Errorf("steady OSI %v, want near zero", steady)
+	}
+	if puls <= steady+0.05 {
+		t.Errorf("pulsatile OSI %v not elevated over steady %v", puls, steady)
+	}
+	if value(t, r, "peak-wss", 0) <= 0 || value(t, r, "peak-wss", 1) <= 0 {
+		t.Error("peak WSS missing")
+	}
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fit"
+	"repro/internal/machine"
+	"repro/internal/mbench"
+)
+
+// streamSamples is the per-point averaging used when characterizing
+// systems with noise, matching repeated STREAM trials.
+const streamSamples = 5
+
+// Fig5 regenerates the STREAM bandwidth study (Figure 5): noisy Copy
+// sweeps over OpenMP thread counts for every system plus the
+// hyperthreaded CSP-2 instance, each with its Eq. 8 two-line fit. Series:
+// "<system>/measured" and "<system>/fit" (plus "CSP-2 Hyp./..." rows).
+func Fig5() (Report, error) {
+	rng := newRNG()
+	series := map[string][]Point{}
+	var text strings.Builder
+
+	sweep := func(label string, sys *machine.System, hyper bool) error {
+		pts := mbench.StreamSweepSim(sys, hyper, streamSamples, rng)
+		f, err := mbench.FitStream(pts)
+		if err != nil {
+			return fmt.Errorf("experiments: fig5 fit for %s: %w", label, err)
+		}
+		for _, p := range pts {
+			series[label+"/measured"] = append(series[label+"/measured"],
+				Point{X: float64(p.Threads), Y: p.BandwidthMBps})
+			series[label+"/fit"] = append(series[label+"/fit"],
+				Point{X: float64(p.Threads), Y: f.Eval(float64(p.Threads))})
+		}
+		fmt.Fprintf(&text, "%-12s %s\n", label, f)
+		return nil
+	}
+	for _, sys := range machine.Catalog() {
+		if err := sweep(sys.Abbrev, sys, false); err != nil {
+			return Report{}, err
+		}
+	}
+	if err := sweep("CSP-2 Hyp.", machine.NewCSP2(), true); err != nil {
+		return Report{}, err
+	}
+	text.WriteString("\n")
+	text.WriteString(renderSeries(series, "threads", "MB/s"))
+	return Report{
+		ID:     "fig5",
+		Title:  "Figure 5: STREAM Copy bandwidth vs thread count with two-line fits",
+		Text:   text.String(),
+		Series: series,
+	}, nil
+}
+
+// Table2 regenerates the published-vs-STREAM bandwidth comparison
+// (Table II): the two-line fit's saturated bandwidth at full thread count
+// against the vendor-published maximum, with the percentage difference.
+func Table2() (Report, error) {
+	rng := newRNG()
+	var b strings.Builder
+	series := map[string][]Point{}
+	fmt.Fprintf(&b, "%-14s %16s %16s %12s\n", "System", "Published (MB/s)", "STREAM (MB/s)", "Difference")
+	for _, sys := range []*machine.System{machine.NewTRC(), machine.NewCSP1(), machine.NewCSP2(), machine.NewCSP2EC()} {
+		pts := mbench.StreamSweepSim(sys, false, streamSamples, rng)
+		f, err := mbench.FitStream(pts)
+		if err != nil {
+			return Report{}, err
+		}
+		measured := f.Eval(float64(sys.CoresPerNode))
+		diff := (measured - sys.PublishedMemBWMBps) / sys.PublishedMemBWMBps * 100
+		fmt.Fprintf(&b, "%-14s %16.0f %16.0f %+11.2f%%\n",
+			sys.Abbrev, sys.PublishedMemBWMBps, measured, diff)
+		series[sys.Abbrev] = []Point{
+			{X: sys.PublishedMemBWMBps, Y: measured},
+		}
+	}
+	return Report{
+		ID:     "table2",
+		Title:  "Table II: STREAM-fit sustainable bandwidth vs published maximum",
+		Text:   b.String(),
+		Series: series,
+	}, nil
+}
+
+// Fig6 regenerates the PingPong study (Figure 6): measured message times
+// over the IMB size sweep with Eq. 12 linear fits, for the systems whose
+// interconnects the paper compares. Series: "<system>/measured" and
+// "<system>/fit".
+func Fig6() (Report, error) {
+	rng := newRNG()
+	series := map[string][]Point{}
+	var text strings.Builder
+	for _, sys := range []*machine.System{machine.NewTRC(), machine.NewCSP2(), machine.NewCSP2EC()} {
+		pts := mbench.PingPongSweepSim(sys, false, mbench.DefaultMessageSizes(), streamSamples, rng)
+		link, line, err := mbench.FitPingPong(pts)
+		if err != nil {
+			return Report{}, err
+		}
+		for _, p := range pts {
+			series[sys.Abbrev+"/measured"] = append(series[sys.Abbrev+"/measured"], Point{X: p.Bytes, Y: p.TimeUS})
+			series[sys.Abbrev+"/fit"] = append(series[sys.Abbrev+"/fit"], Point{X: p.Bytes, Y: line.Eval(p.Bytes)})
+		}
+		fmt.Fprintf(&text, "%-10s b = %8.2f MB/s   l = %6.2f µs   (R²=%.4f)\n",
+			sys.Abbrev, link.BandwidthMBps, link.LatencyUS, line.R2)
+	}
+	return Report{
+		ID:     "fig6",
+		Title:  "Figure 6: PingPong timings with linear communication-model fits",
+		Text:   text.String() + "\n" + renderSeries(series, "bytes", "µs"),
+		Series: series,
+	}, nil
+}
+
+// Table3 regenerates the microbenchmark fit-parameter table (Table III):
+// two-line memory parameters for every system (including hyperthreaded
+// CSP-2) and inter-node communication parameters where multi-node
+// PingPong applies.
+func Table3() (Report, error) {
+	rng := newRNG()
+	var b strings.Builder
+	series := map[string][]Point{}
+	fmt.Fprintf(&b, "%-12s %10s %10s %7s %10s %8s %6s\n",
+		"System", "a1", "a2", "a3", "b_inter", "l_inter", "Cores")
+
+	type rowSpec struct {
+		label string
+		sys   *machine.System
+		hyper bool
+		comm  bool
+	}
+	rows := []rowSpec{
+		{"TRC", machine.NewTRC(), false, true},
+		{"CSP-2", machine.NewCSP2(), false, true},
+		{"CSP-2 EC", machine.NewCSP2EC(), false, true},
+		{"CSP-2 Hyp.", machine.NewCSP2(), true, false},
+		{"CSP-1", machine.NewCSP1(), false, false},
+	}
+	var uncertainty strings.Builder
+	for _, r := range rows {
+		pts := mbench.StreamSweepSim(r.sys, r.hyper, streamSamples, rng)
+		mem, err := mbench.FitStream(pts)
+		if err != nil {
+			return Report{}, err
+		}
+		// Bootstrap error bars on the two-line parameters.
+		ths := make([]float64, len(pts))
+		bws := make([]float64, len(pts))
+		for i, p := range pts {
+			ths[i] = float64(p.Threads)
+			bws[i] = p.BandwidthMBps
+		}
+		if u, err := fit.BootstrapTwoLine(ths, bws, 80, rng); err == nil {
+			fmt.Fprintf(&uncertainty, "%-12s a1 = %-16s a2 = %-16s a3 = %s\n",
+				r.label, u.A1.String(), u.A2.String(), u.A3.String())
+		}
+		commStr := [2]string{"N/A", "N/A"}
+		var linkPts []Point
+		if r.comm {
+			pp := mbench.PingPongSweepSim(r.sys, false, mbench.DefaultMessageSizes(), streamSamples, rng)
+			link, _, err := mbench.FitPingPong(pp)
+			if err != nil {
+				return Report{}, err
+			}
+			commStr[0] = fmt.Sprintf("%.2f", link.BandwidthMBps)
+			commStr[1] = fmt.Sprintf("%.2f", link.LatencyUS)
+			linkPts = []Point{{X: link.BandwidthMBps, Y: link.LatencyUS}}
+		}
+		cores := r.sys.CoresPerNode
+		coresLabel := fmt.Sprintf("%d", cores)
+		if r.hyper {
+			cores *= r.sys.VCPUsPerCore
+			coresLabel = fmt.Sprintf("%d*", cores)
+		}
+		fmt.Fprintf(&b, "%-12s %10.2f %10.2f %7.2f %10s %8s %6s\n",
+			r.label, mem.A1, mem.A2, mem.A3, commStr[0], commStr[1], coresLabel)
+		series[r.label] = append([]Point{{X: mem.A1, Y: mem.A3}}, linkPts...)
+	}
+	text := b.String() + "\nbootstrap parameter uncertainty (mean ± stderr, 80 resamples):\n" + uncertainty.String()
+	return Report{
+		ID:     "table3",
+		Title:  "Table III: microbenchmark curve-fit parameters (Eqs. 8 and 12)",
+		Text:   text,
+		Series: series,
+	}, nil
+}

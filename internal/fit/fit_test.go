@@ -1,0 +1,253 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestLinearLSQExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3.5*x + 1.25
+	}
+	l, err := LinearLSQ(xs, ys)
+	if err != nil {
+		t.Fatalf("LinearLSQ: %v", err)
+	}
+	if !almostEqual(l.Slope, 3.5, 1e-12) || !almostEqual(l.Intercept, 1.25, 1e-12) {
+		t.Errorf("got slope=%v intercept=%v, want 3.5, 1.25", l.Slope, l.Intercept)
+	}
+	if l.R2 < 1-1e-12 {
+		t.Errorf("R2 = %v, want ~1", l.R2)
+	}
+}
+
+func TestLinearLSQNoisyRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 2.0*xs[i] + 10 + rng.NormFloat64()*0.5
+	}
+	l, err := LinearLSQ(xs, ys)
+	if err != nil {
+		t.Fatalf("LinearLSQ: %v", err)
+	}
+	if !almostEqual(l.Slope, 2.0, 0.01) {
+		t.Errorf("slope = %v, want ~2.0", l.Slope)
+	}
+	if math.Abs(l.Intercept-10) > 0.5 {
+		t.Errorf("intercept = %v, want ~10", l.Intercept)
+	}
+}
+
+func TestLinearLSQErrors(t *testing.T) {
+	if _, err := LinearLSQ([]float64{1}, []float64{2}); err == nil {
+		t.Error("want error for single point")
+	}
+	if _, err := LinearLSQ([]float64{1, 2}, []float64{2}); err == nil {
+		t.Error("want error for mismatched lengths")
+	}
+	if _, err := LinearLSQ([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("want error for degenerate x")
+	}
+	if _, err := LinearLSQ([]float64{1, math.NaN()}, []float64{1, 2}); err == nil {
+		t.Error("want error for NaN input")
+	}
+	if _, err := LinearLSQ([]float64{1, math.Inf(1)}, []float64{1, 2}); err == nil {
+		t.Error("want error for Inf input")
+	}
+}
+
+func TestLinearThroughPoint(t *testing.T) {
+	// Communication-model shape: t = m/b + l with pinned latency.
+	const b, l = 2000.0, 20.0 // MB/s and µs scales are arbitrary here
+	xs := []float64{1, 8, 64, 512, 4096, 32768}
+	ys := make([]float64, len(xs))
+	for i, m := range xs {
+		ys[i] = m/b + l
+	}
+	fit, err := LinearThroughPoint(xs, ys, l)
+	if err != nil {
+		t.Fatalf("LinearThroughPoint: %v", err)
+	}
+	if !almostEqual(fit.Slope, 1/b, 1e-9) {
+		t.Errorf("slope = %v, want %v", fit.Slope, 1/b)
+	}
+	if fit.Intercept != l {
+		t.Errorf("intercept = %v, want pinned %v", fit.Intercept, l)
+	}
+}
+
+func TestLinearThroughPointAllZeroX(t *testing.T) {
+	if _, err := LinearThroughPoint([]float64{0, 0}, []float64{1, 2}, 0); err == nil {
+		t.Error("want error when all x are zero")
+	}
+}
+
+func TestTwoLineExactRecovery(t *testing.T) {
+	truth := TwoLine{A1: 6768.24, A2: 369.16, A3: 6.39} // TRC row of Table III
+	var threads, bw []float64
+	for n := 1; n <= 40; n++ {
+		threads = append(threads, float64(n))
+		bw = append(bw, truth.Eval(float64(n)))
+	}
+	got, err := TwoLineLSQ(threads, bw)
+	if err != nil {
+		t.Fatalf("TwoLineLSQ: %v", err)
+	}
+	if !almostEqual(got.A1, truth.A1, 1e-3) {
+		t.Errorf("a1 = %v, want %v", got.A1, truth.A1)
+	}
+	if !almostEqual(got.A2, truth.A2, 1e-2) {
+		t.Errorf("a2 = %v, want %v", got.A2, truth.A2)
+	}
+	if math.Abs(got.A3-truth.A3) > 0.25 {
+		t.Errorf("a3 = %v, want %v", got.A3, truth.A3)
+	}
+}
+
+func TestTwoLineNoisyRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	truth := TwoLine{A1: 7790.02, A2: 1264.80, A3: 9.0} // CSP-2 row of Table III
+	var threads, bw []float64
+	for n := 1; n <= 36; n++ {
+		threads = append(threads, float64(n))
+		bw = append(bw, truth.Eval(float64(n))*(1+rng.NormFloat64()*0.01))
+	}
+	got, err := TwoLineLSQ(threads, bw)
+	if err != nil {
+		t.Fatalf("TwoLineLSQ: %v", err)
+	}
+	if !almostEqual(got.A1, truth.A1, 0.05) {
+		t.Errorf("a1 = %v, want ~%v", got.A1, truth.A1)
+	}
+	if !almostEqual(got.A2, truth.A2, 0.15) {
+		t.Errorf("a2 = %v, want ~%v", got.A2, truth.A2)
+	}
+	if math.Abs(got.A3-truth.A3) > 1.5 {
+		t.Errorf("a3 = %v, want ~%v", got.A3, truth.A3)
+	}
+}
+
+func TestTwoLineContinuityProperty(t *testing.T) {
+	// The fitted model must be continuous at the knee for any fit result.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		truth := TwoLine{
+			A1: 1000 + rng.Float64()*20000,
+			A2: rng.Float64() * 2000,
+			A3: 2 + rng.Float64()*20,
+		}
+		var threads, bw []float64
+		for n := 1; n <= 48; n++ {
+			threads = append(threads, float64(n))
+			bw = append(bw, truth.Eval(float64(n))*(1+rng.NormFloat64()*0.02))
+		}
+		got, err := TwoLineLSQ(threads, bw)
+		if err != nil {
+			return false
+		}
+		eps := 1e-9
+		left := got.Eval(got.A3 - eps)
+		right := got.Eval(got.A3 + eps)
+		return math.Abs(left-right) < 1e-3*math.Max(1, math.Abs(right))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoLineSingleRegime(t *testing.T) {
+	// Purely linear data (knee beyond data range) must still fit well.
+	var threads, bw []float64
+	for n := 1; n <= 16; n++ {
+		threads = append(threads, float64(n))
+		bw = append(bw, 5000*float64(n))
+	}
+	got, err := TwoLineLSQ(threads, bw)
+	if err != nil {
+		t.Fatalf("TwoLineLSQ: %v", err)
+	}
+	for n := 1; n <= 16; n++ {
+		want := 5000 * float64(n)
+		if !almostEqual(got.Eval(float64(n)), want, 1e-2) {
+			t.Fatalf("Eval(%d) = %v, want %v", n, got.Eval(float64(n)), want)
+		}
+	}
+}
+
+func TestTwoLineSaturation(t *testing.T) {
+	m := TwoLine{A1: 1000, A2: 10, A3: 8}
+	if got := m.Saturation(); got != 8000 {
+		t.Errorf("Saturation = %v, want 8000", got)
+	}
+}
+
+func TestLogLawRecovery(t *testing.T) {
+	truth := LogLaw{C1: 0.15, C2: 0.02}
+	var tasks, z []float64
+	for _, n := range []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048} {
+		tasks = append(tasks, n)
+		z = append(z, truth.Eval(n))
+	}
+	got, err := LogLawLSQ(tasks, z)
+	if err != nil {
+		t.Fatalf("LogLawLSQ: %v", err)
+	}
+	if !almostEqual(got.C1, truth.C1, 0.05) {
+		t.Errorf("c1 = %v, want ~%v", got.C1, truth.C1)
+	}
+	if !almostEqual(got.C2, truth.C2, 0.15) {
+		t.Errorf("c2 = %v, want ~%v", got.C2, truth.C2)
+	}
+}
+
+func TestLogLawSerialIsBalanced(t *testing.T) {
+	// Eq. 11 must give exactly z = 1 at n = 1 regardless of parameters.
+	f := func(c1, c2 float64) bool {
+		m := LogLaw{C1: math.Abs(c1), C2: math.Abs(c2)}
+		return m.Eval(1) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogLawMonotone(t *testing.T) {
+	m := LogLaw{C1: 0.2, C2: 0.05}
+	prev := m.Eval(1)
+	for n := 2.0; n <= 4096; n *= 2 {
+		cur := m.Eval(n)
+		if cur < prev {
+			t.Fatalf("z not monotone at n=%v: %v < %v", n, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestLogLawRejectsBadTasks(t *testing.T) {
+	if _, err := LogLawLSQ([]float64{0.5, 2}, []float64{1, 1.1}); err == nil {
+		t.Error("want error for task count < 1")
+	}
+}
+
+func TestGoldenMin(t *testing.T) {
+	got := GoldenMin(-10, 10, 1e-9, func(x float64) float64 { return (x - 3.2) * (x - 3.2) })
+	if math.Abs(got-3.2) > 1e-6 {
+		t.Errorf("goldenMin = %v, want 3.2", got)
+	}
+	// Reversed bounds must work too.
+	got = GoldenMin(10, -10, 1e-9, func(x float64) float64 { return (x + 1) * (x + 1) })
+	if math.Abs(got+1) > 1e-6 {
+		t.Errorf("goldenMin = %v, want -1", got)
+	}
+}

@@ -1,0 +1,362 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointTypeString(t *testing.T) {
+	cases := map[PointType]string{
+		Solid: "solid", Bulk: "bulk", Wall: "wall", Inlet: "inlet", Outlet: "outlet",
+		PointType(99): "PointType(99)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestIsFluid(t *testing.T) {
+	if Solid.IsFluid() {
+		t.Error("Solid.IsFluid() = true")
+	}
+	for _, p := range []PointType{Bulk, Wall, Inlet, Outlet} {
+		if !p.IsFluid() {
+			t.Errorf("%v.IsFluid() = false", p)
+		}
+	}
+}
+
+func TestAtOutOfRangeIsSolid(t *testing.T) {
+	d, err := Cylinder(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range [][3]int{{-1, 0, 0}, {d.NX, 0, 0}, {0, -1, 0}, {0, d.NY, 0}, {0, 0, -1}, {0, 0, d.NZ}} {
+		if got := d.At(c[0], c[1], c[2]); got != Solid {
+			t.Errorf("At(%v) = %v, want Solid", c, got)
+		}
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	d := &Domain{NX: 5, NY: 7, NZ: 3}
+	seen := map[int]bool{}
+	for z := 0; z < 3; z++ {
+		for y := 0; y < 7; y++ {
+			for x := 0; x < 5; x++ {
+				i := d.Index(x, y, z)
+				if i < 0 || i >= 105 || seen[i] {
+					t.Fatalf("Index(%d,%d,%d) = %d invalid or duplicate", x, y, z, i)
+				}
+				seen[i] = true
+			}
+		}
+	}
+}
+
+func TestCylinderBasics(t *testing.T) {
+	d, err := Cylinder(40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Fluid == 0 || s.Bulk == 0 || s.Wall == 0 {
+		t.Fatalf("cylinder has empty classes: %+v", s)
+	}
+	if s.Inlet == 0 || s.Outlet == 0 {
+		t.Fatalf("cylinder missing ports: %+v", s)
+	}
+	// Fluid volume should be near pi*r^2*L.
+	want := math.Pi * 8 * 8 * 40
+	got := float64(s.Fluid)
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("fluid volume %v deviates from analytic %v", got, want)
+	}
+	// All inlet sites sit on x=0; all outlet sites on x=NX-1.
+	for z := 0; z < d.NZ; z++ {
+		for y := 0; y < d.NY; y++ {
+			for x := 1; x < d.NX-1; x++ {
+				if tp := d.At(x, y, z); tp == Inlet || tp == Outlet {
+					t.Fatalf("port site in interior at (%d,%d,%d)", x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func TestCylinderTooSmall(t *testing.T) {
+	if _, err := Cylinder(2, 8); err == nil {
+		t.Error("want error for nx too small")
+	}
+	if _, err := Cylinder(40, 1); err == nil {
+		t.Error("want error for radius too small")
+	}
+}
+
+func TestWallSeparatesFluidFromSolid(t *testing.T) {
+	// Invariant: no bulk site touches solid in the 26-neighborhood.
+	d, err := Cylinder(24, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := 0; z < d.NZ; z++ {
+		for y := 0; y < d.NY; y++ {
+			for x := 0; x < d.NX; x++ {
+				if d.At(x, y, z) != Bulk {
+					continue
+				}
+				if hasSolidNeighbor(d, x, y, z) {
+					t.Fatalf("bulk site (%d,%d,%d) touches solid", x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func TestAortaBasics(t *testing.T) {
+	d, err := Aorta(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Bulk == 0 || s.Wall == 0 || s.Inlet == 0 || s.Outlet == 0 {
+		t.Fatalf("aorta missing classes: %+v", s)
+	}
+	// The aorta is a sparse shape in its bounding box.
+	if s.FluidFraction > 0.5 {
+		t.Errorf("aorta fluid fraction %v suspiciously dense", s.FluidFraction)
+	}
+}
+
+func TestAortaTooSmall(t *testing.T) {
+	if _, err := Aorta(1); err == nil {
+		t.Error("want error for tiny scale")
+	}
+}
+
+func TestCerebralBasics(t *testing.T) {
+	d, err := Cerebral(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Bulk == 0 || s.Wall == 0 || s.Inlet == 0 || s.Outlet == 0 {
+		t.Fatalf("cerebral missing classes: %+v", s)
+	}
+}
+
+func TestCerebralValidation(t *testing.T) {
+	if _, err := Cerebral(1, 3); err == nil {
+		t.Error("want error for tiny scale")
+	}
+	if _, err := Cerebral(3, 0); err == nil {
+		t.Error("want error for zero depth")
+	}
+	if _, err := Cerebral(3, 9); err == nil {
+		t.Error("want error for absurd depth")
+	}
+}
+
+func TestGeometryCharacterOrdering(t *testing.T) {
+	// The paper's Figure 2 narrative: the cylinder packs fluid efficiently
+	// (high bulk:wall, high fluid fraction); the cerebral tree is thin
+	// vessels (low bulk:wall). The synthetic shapes must preserve this
+	// ordering since it drives the communication and memory stories.
+	cyl, err := Cylinder(48, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cer, err := Cerebral(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, se := cyl.Stats(), cer.Stats()
+	if sc.BulkWallRatio <= se.BulkWallRatio {
+		t.Errorf("bulk:wall cylinder (%v) must exceed cerebral (%v)", sc.BulkWallRatio, se.BulkWallRatio)
+	}
+	if sc.FluidFraction <= se.FluidFraction {
+		t.Errorf("fluid fraction cylinder (%v) must exceed cerebral (%v)", sc.FluidFraction, se.FluidFraction)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	caps := []Capsule{{A: Vec3{0, 4, 4}, B: Vec3{9, 4, 4}, R: 3}}
+	if _, err := Build("x", 0, 10, 10, caps, nil); err == nil {
+		t.Error("want error for zero dimension")
+	}
+	if _, err := Build("x", 10, 10, 10, nil, nil); err == nil {
+		t.Error("want error for no capsules")
+	}
+	bad := []Port{{XPlane: 0, Center: Vec3{0, 4, 4}, Radius: 3, Type: Bulk}}
+	if _, err := Build("x", 10, 10, 10, caps, bad); err == nil {
+		t.Error("want error for non-port type")
+	}
+	out := []Port{{XPlane: 50, Center: Vec3{0, 4, 4}, Radius: 3, Type: Inlet}}
+	if _, err := Build("x", 10, 10, 10, caps, out); err == nil {
+		t.Error("want error for plane outside domain")
+	}
+	miss := []Port{{XPlane: 0, Center: Vec3{0, 100, 100}, Radius: 0.5, Type: Inlet}}
+	if _, err := Build("x", 10, 10, 10, caps, miss); err == nil {
+		t.Error("want error for port that marks nothing")
+	}
+}
+
+func TestCapsuleDistance(t *testing.T) {
+	c := Capsule{A: Vec3{0, 0, 0}, B: Vec3{10, 0, 0}, R: 2}
+	if d := c.distance(Vec3{5, 3, 0}); math.Abs(d-3) > 1e-12 {
+		t.Errorf("distance = %v, want 3", d)
+	}
+	// Beyond segment ends the distance is to the endpoint.
+	if d := c.distance(Vec3{-3, 4, 0}); math.Abs(d-5) > 1e-12 {
+		t.Errorf("distance = %v, want 5", d)
+	}
+	// Degenerate capsule (point).
+	p := Capsule{A: Vec3{1, 1, 1}, B: Vec3{1, 1, 1}, R: 1}
+	if d := p.distance(Vec3{1, 1, 3}); math.Abs(d-2) > 1e-12 {
+		t.Errorf("point-capsule distance = %v, want 2", d)
+	}
+}
+
+func TestCapsuleContainsProperty(t *testing.T) {
+	// Any point within R of the segment midpoint is inside the capsule.
+	c := Capsule{A: Vec3{0, 0, 0}, B: Vec3{20, 0, 0}, R: 5}
+	f := func(dx, dy, dz float64) bool {
+		v := Vec3{dx, dy, dz}
+		n := v.Norm()
+		if n == 0 || math.IsNaN(n) || math.IsInf(n, 0) {
+			return true
+		}
+		scaled := Vec3{10 + v.X/n*4.9, v.Y / n * 4.9, v.Z / n * 4.9}
+		return c.contains(scaled)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	d, err := Aorta(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Bulk+s.Wall+s.Inlet+s.Outlet != s.Fluid {
+		t.Errorf("fluid count inconsistent: %+v", s)
+	}
+	if s.Fluid+s.Solid != d.Sites() {
+		t.Errorf("site count inconsistent: %+v vs %d", s, d.Sites())
+	}
+}
+
+func TestBoundRange(t *testing.T) {
+	a, b := boundRange(-3.2, 5.7, 10)
+	if a != 0 || b != 6 {
+		t.Errorf("boundRange = %d,%d, want 0,6", a, b)
+	}
+	a, b = boundRange(8.1, 30, 10)
+	if a != 8 || b != 9 {
+		t.Errorf("boundRange = %d,%d, want 8,9", a, b)
+	}
+}
+
+func TestStenosedCylinder(t *testing.T) {
+	healthy, err := Cylinder(48, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sten, err := StenosedCylinder(48, 8, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, ss := healthy.Stats(), sten.Stats()
+	if ss.Fluid >= hs.Fluid {
+		t.Errorf("stenosis did not remove lumen: %d vs %d", ss.Fluid, hs.Fluid)
+	}
+	if ss.Inlet == 0 || ss.Outlet == 0 {
+		t.Error("stenosed vessel missing ports")
+	}
+	// The throat cross-section is the narrowest: count fluid per plane.
+	planeFluid := func(d *Domain, x int) int {
+		n := 0
+		for z := 0; z < d.NZ; z++ {
+			for y := 0; y < d.NY; y++ {
+				if d.At(x, y, z).IsFluid() {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	mid := planeFluid(sten, 24)
+	end := planeFluid(sten, 4)
+	if mid >= end {
+		t.Errorf("throat plane (%d points) not narrower than proximal (%d)", mid, end)
+	}
+	// Severity 0.5 halves the radius: throat area ~ a quarter.
+	if ratio := float64(mid) / float64(end); ratio > 0.45 {
+		t.Errorf("throat area ratio %v, want near 0.25", ratio)
+	}
+}
+
+func TestStenosedCylinderValidation(t *testing.T) {
+	if _, err := StenosedCylinder(4, 8, 0.5, 5); err == nil {
+		t.Error("want error for tiny vessel")
+	}
+	if _, err := StenosedCylinder(48, 8, 0, 5); err == nil {
+		t.Error("want error for zero severity")
+	}
+	if _, err := StenosedCylinder(48, 8, 0.95, 5); err == nil {
+		t.Error("want error for near-total occlusion")
+	}
+	if _, err := StenosedCylinder(48, 8, 0.5, 0); err == nil {
+		t.Error("want error for zero width")
+	}
+}
+
+func TestBifurcation(t *testing.T) {
+	d, err := Bifurcation(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Bulk == 0 || s.Wall == 0 || s.Inlet == 0 || s.Outlet == 0 {
+		t.Fatalf("bifurcation missing classes: %+v", s)
+	}
+	// Downstream of the junction the cross-section splits into two lumens:
+	// the fluid at a plane past the junction occupies two disjoint blobs.
+	// Cheap proxy: total daughter area ~ 2 * (rd)^2 pi with rd = 6*2^(-1/3),
+	// larger than the parent's area (Murray's law grows total area).
+	plane := func(x int) int {
+		n := 0
+		for z := 0; z < d.NZ; z++ {
+			for y := 0; y < d.NY; y++ {
+				if d.At(x, y, z).IsFluid() {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	parent := plane(4)
+	daughters := plane(d.NX - 6)
+	if daughters <= parent {
+		t.Errorf("daughter area %d not above parent %d (Murray's law)", daughters, parent)
+	}
+	if _, err := Bifurcation(1); err == nil {
+		t.Error("want error for tiny scale")
+	}
+}
+
+func TestBifurcationFlows(t *testing.T) {
+	// The Y-branch must be simulable end to end (ports reachable).
+	d, err := Bifurcation(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Outlet < 10 {
+		t.Errorf("only %d outlet sites; daughters may not reach the outlet plane", d.Stats().Outlet)
+	}
+}

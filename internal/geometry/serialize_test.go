@@ -1,0 +1,72 @@
+package geometry
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDomainRoundTrip(t *testing.T) {
+	orig, err := Aorta(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// RLE should be much smaller than one byte per site.
+	if buf.Len() >= orig.Sites() {
+		t.Errorf("RLE file %d bytes not smaller than %d raw sites", buf.Len(), orig.Sites())
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.NX != orig.NX || got.NY != orig.NY || got.NZ != orig.NZ {
+		t.Fatalf("identity mismatch: %+v", got)
+	}
+	for i := range orig.Types {
+		if got.Types[i] != orig.Types[i] {
+			t.Fatalf("type mismatch at site %d", i)
+		}
+	}
+	// The restored domain produces identical stats.
+	if got.Stats() != orig.Stats() {
+		t.Errorf("stats differ: %+v vs %+v", got.Stats(), orig.Stats())
+	}
+}
+
+func TestReadRejectsCorrupt(t *testing.T) {
+	orig, err := Cylinder(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("want error for bad magic")
+	}
+	// Truncated stream.
+	if _, err := Read(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Error("want error for truncation")
+	}
+	// Invalid point type inside a run: find the first run byte (after the
+	// 5-uint64 header + name) and corrupt it.
+	bad = append([]byte(nil), good...)
+	runStart := 5*8 + len(orig.Name)
+	bad[runStart] = 200
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("want error for invalid point type")
+	}
+	// Empty input.
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("want error for empty input")
+	}
+}

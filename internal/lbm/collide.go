@@ -1,0 +1,84 @@
+package lbm
+
+import "fmt"
+
+// CollisionOp selects the collision operator.
+type CollisionOp int
+
+// Available collision operators.
+const (
+	// BGK is the single-relaxation-time operator the paper's HARVEY
+	// configuration uses.
+	BGK CollisionOp = iota
+	// TRT is the two-relaxation-time operator: the antisymmetric moments
+	// relax at a rate tied to tau through the "magic" parameter
+	// Lambda = 1/4, which places the bounce-back wall exactly halfway
+	// between nodes and improves accuracy and stability at low viscosity.
+	TRT
+)
+
+// String names the operator.
+func (c CollisionOp) String() string {
+	if c == TRT {
+		return "TRT"
+	}
+	return "BGK"
+}
+
+// trtMagic is the TRT "magic" combination Lambda = lambda_e * lambda_o
+// fixing the wall location; 1/4 is the standard choice.
+const trtMagic = 0.25
+
+// CollideCell applies the configured collision operator plus first-order
+// forcing to one cell, in place. It is THE collision arithmetic: the
+// serial engine, the goroutine-parallel runner and the wall-force
+// diagnostics all call it, which is what makes parallel runs bitwise
+// equal to serial ones.
+func CollideCell(cell *[NQ]float64, p Params, gx, gy, gz float64) {
+	rho, ux, uy, uz := Moments(cell)
+	var feq [NQ]float64
+	Equilibrium(rho, ux, uy, uz, &feq)
+	switch p.Collision {
+	case TRT:
+		omegaP := 1 / p.Tau
+		// lambda_o from the magic relation: Lambda = (tau-1/2)(tauM-1/2).
+		tauM := trtMagic/(p.Tau-0.5) + 0.5
+		omegaM := 1 / tauM
+		// Rest direction has no antisymmetric part.
+		cell[0] -= omegaP * (cell[0] - feq[0])
+		for q := 1; q < NQ; q++ {
+			o := Opp[q]
+			if o < q {
+				continue // each pair handled once
+			}
+			fp := 0.5 * (cell[q] + cell[o])
+			fm := 0.5 * (cell[q] - cell[o])
+			ep := 0.5 * (feq[q] + feq[o])
+			em := 0.5 * (feq[q] - feq[o])
+			dp := omegaP * (fp - ep)
+			dm := omegaM * (fm - em)
+			cell[q] -= dp + dm
+			cell[o] -= dp - dm
+		}
+	default: // BGK
+		omega := 1 / p.Tau
+		for q := 0; q < NQ; q++ {
+			cell[q] -= omega * (cell[q] - feq[q])
+		}
+	}
+	if gx != 0 || gy != 0 || gz != 0 {
+		for q := 0; q < NQ; q++ {
+			cell[q] += 3 * W[q] * (float64(Cx[q])*gx + float64(Cy[q])*gy + float64(Cz[q])*gz)
+		}
+	}
+}
+
+// validateCollision extends Params.Validate for the operator choice.
+func validateCollision(p Params) error {
+	switch p.Collision {
+	case BGK, TRT:
+		return nil
+	default:
+		return fmt.Errorf("lbm: unknown collision operator %d", int(p.Collision))
+	}
+}

@@ -1,0 +1,150 @@
+package lbm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatticeSymmetry(t *testing.T) {
+	// Weights must sum to 1.
+	var sum float64
+	for q := 0; q < NQ; q++ {
+		sum += W[q]
+	}
+	if math.Abs(sum-1) > 1e-15 {
+		t.Errorf("weights sum to %v, want 1", sum)
+	}
+	// First moment of the velocity set must vanish.
+	var sx, sy, sz float64
+	for q := 0; q < NQ; q++ {
+		sx += W[q] * float64(Cx[q])
+		sy += W[q] * float64(Cy[q])
+		sz += W[q] * float64(Cz[q])
+	}
+	if sx != 0 || sy != 0 || sz != 0 {
+		t.Errorf("weighted velocity sum = (%v,%v,%v), want 0", sx, sy, sz)
+	}
+	// Second moment: sum w_q c_qa c_qb = delta_ab / 3 (lattice speed of sound^2).
+	var xx, yy, zz, xy, xz, yz float64
+	for q := 0; q < NQ; q++ {
+		xx += W[q] * float64(Cx[q]*Cx[q])
+		yy += W[q] * float64(Cy[q]*Cy[q])
+		zz += W[q] * float64(Cz[q]*Cz[q])
+		xy += W[q] * float64(Cx[q]*Cy[q])
+		xz += W[q] * float64(Cx[q]*Cz[q])
+		yz += W[q] * float64(Cy[q]*Cz[q])
+	}
+	third := 1.0 / 3
+	for _, v := range []float64{xx, yy, zz} {
+		if math.Abs(v-third) > 1e-15 {
+			t.Errorf("diagonal second moment %v, want 1/3", v)
+		}
+	}
+	for _, v := range []float64{xy, xz, yz} {
+		if v != 0 {
+			t.Errorf("off-diagonal second moment %v, want 0", v)
+		}
+	}
+}
+
+func TestOppositeTable(t *testing.T) {
+	for q := 0; q < NQ; q++ {
+		p := Opp[q]
+		if Cx[p] != -Cx[q] || Cy[p] != -Cy[q] || Cz[p] != -Cz[q] {
+			t.Errorf("Opp[%d]=%d is not the opposite direction", q, p)
+		}
+		if Opp[p] != q {
+			t.Errorf("Opp not involutive at %d", q)
+		}
+	}
+	if Opp[0] != 0 {
+		t.Errorf("rest direction opposite = %d, want 0", Opp[0])
+	}
+}
+
+func TestEquilibriumMoments(t *testing.T) {
+	// The equilibrium must reproduce its defining density and velocity.
+	f := func(rhoRaw, uxRaw, uyRaw, uzRaw float64) bool {
+		rho := 0.5 + math.Abs(math.Mod(rhoRaw, 1)) // in (0.5, 1.5)
+		scale := 0.05
+		ux := math.Mod(uxRaw, 1) * scale
+		uy := math.Mod(uyRaw, 1) * scale
+		uz := math.Mod(uzRaw, 1) * scale
+		if math.IsNaN(ux + uy + uz + rho) {
+			return true
+		}
+		var feq [NQ]float64
+		Equilibrium(rho, ux, uy, uz, &feq)
+		r, vx, vy, vz := Moments(&feq)
+		tol := 1e-12
+		return math.Abs(r-rho) < tol &&
+			math.Abs(vx-ux) < tol && math.Abs(vy-uy) < tol && math.Abs(vz-uz) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquilibriumRestState(t *testing.T) {
+	var feq [NQ]float64
+	Equilibrium(1, 0, 0, 0, &feq)
+	for q := 0; q < NQ; q++ {
+		if math.Abs(feq[q]-W[q]) > 1e-15 {
+			t.Errorf("rest equilibrium f[%d] = %v, want weight %v", q, feq[q], W[q])
+		}
+	}
+}
+
+func TestMomentsZeroDensity(t *testing.T) {
+	var f [NQ]float64
+	rho, ux, uy, uz := Moments(&f)
+	if rho != 0 || ux != 0 || uy != 0 || uz != 0 {
+		t.Error("zero distribution must give zero moments without NaN")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{Tau: 0.8, UMax: 0.05}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{Tau: 0.5},
+		{Tau: 0.4},
+		{Tau: 6},
+		{Tau: 0.8, UMax: 0.5},
+		{Tau: 0.8, UMax: -0.1},
+		{Tau: 0.8, Force: [3]float64{0.5, 0, 0}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestViscosity(t *testing.T) {
+	p := Params{Tau: 1.1}
+	if got := p.Viscosity(); math.Abs(got-0.2) > 1e-15 {
+		t.Errorf("Viscosity = %v, want 0.2", got)
+	}
+}
+
+func TestMFLUPS(t *testing.T) {
+	if got := MFLUPS(1_000_000, 100, 10); got != 10 {
+		t.Errorf("MFLUPS = %v, want 10", got)
+	}
+	if got := MFLUPS(100, 100, 0); got != 0 {
+		t.Errorf("MFLUPS with zero time = %v, want 0", got)
+	}
+}
+
+func TestMFLUPSScaleInvariance(t *testing.T) {
+	// Eq. 7: MFLUPS depends only on the product points*steps per second.
+	a := MFLUPS(1000, 500, 2)
+	b := MFLUPS(500, 1000, 2)
+	if a != b {
+		t.Errorf("MFLUPS not invariant: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,130 @@
+package lbm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+// runOSI drives a cylinder flow for whole cycles and returns the mean OSI.
+func runOSI(t *testing.T, wave Waveform) float64 {
+	t.Helper()
+	dom, err := geometry.Cylinder(20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSparse(dom, Params{Tau: 0.9, UMax: 0.03, Pulsatile: wave})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := 300
+	if wave.Period > 0 {
+		warm = 2 * int(wave.Period)
+	}
+	s.Run(warm)
+	acc := NewOSIAccumulator(s)
+	span := 200
+	if wave.Period > 0 {
+		span = int(wave.Period)
+	}
+	for i := 0; i < span; i++ {
+		s.Step()
+		acc.Accumulate()
+	}
+	mean, err := acc.MeanOSI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mean
+}
+
+func TestOSISteadyIsNearZero(t *testing.T) {
+	if osi := runOSI(t, Waveform{}); osi > 0.02 {
+		t.Errorf("steady-flow OSI %v, want ~0", osi)
+	}
+}
+
+func TestOSIReversingFlowIsElevated(t *testing.T) {
+	steady := runOSI(t, Waveform{})
+	reversing := runOSI(t, Waveform{Period: 120, Amplitude: 1.6})
+	if reversing <= steady+0.05 {
+		t.Errorf("reversing-flow OSI %v not above steady %v", reversing, steady)
+	}
+}
+
+func TestOSIBeforeAccumulationErrors(t *testing.T) {
+	dom, err := geometry.Cylinder(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSparse(dom, Params{Tau: 0.9, UMax: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := NewOSIAccumulator(s)
+	if _, err := acc.OSI(); err == nil {
+		t.Error("want error before accumulation")
+	}
+	if _, err := acc.MeanOSI(); err == nil {
+		t.Error("want error before accumulation (mean)")
+	}
+}
+
+func TestOSIBounds(t *testing.T) {
+	dom, err := geometry.Cylinder(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSparse(dom, Params{Tau: 0.9, UMax: 0.03, Pulsatile: Waveform{Period: 60, Amplitude: 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(120)
+	acc := NewOSIAccumulator(s)
+	for i := 0; i < 60; i++ {
+		s.Step()
+		acc.Accumulate()
+	}
+	sites, err := acc.OSI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, site := range sites {
+		if site.OSI < 0 || site.OSI > 0.5+1e-12 {
+			t.Fatalf("OSI %v outside [0, 0.5] at site %d", site.OSI, site.Site)
+		}
+		if site.MeanWSS < 0 {
+			t.Fatalf("negative mean WSS at site %d", site.Site)
+		}
+	}
+}
+
+func TestWriteOSICSV(t *testing.T) {
+	dom, err := geometry.Cylinder(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSparse(dom, Params{Tau: 0.9, UMax: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(50)
+	acc := NewOSIAccumulator(s)
+	for i := 0; i < 10; i++ {
+		s.Step()
+		acc.Accumulate()
+	}
+	var buf bytes.Buffer
+	if err := acc.WriteOSICSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "x,y,z,osi,mean_wss" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) < 10 {
+		t.Errorf("only %d OSI rows", len(lines)-1)
+	}
+}

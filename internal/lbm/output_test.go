@@ -1,0 +1,131 @@
+package lbm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+func TestWriteVTKStructure(t *testing.T) {
+	s := poiseuilleCase(t, 8, 4, 1e-5)
+	s.Run(20)
+	var buf bytes.Buffer
+	if err := s.WriteVTK(&buf, "cylinder flow"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# vtk DataFile Version 3.0",
+		"DATASET STRUCTURED_POINTS",
+		"SCALARS density double 1",
+		"VECTORS velocity double",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VTK output missing %q", want)
+		}
+	}
+	// One density line per site plus headers: count data lines.
+	sites := s.Dom.Sites()
+	lines := strings.Count(out, "\n")
+	// 8 header-ish lines + sites densities + 1 vectors header + sites vectors.
+	if lines < 2*sites {
+		t.Errorf("VTK output has %d lines for %d sites", lines, sites)
+	}
+	// Fluid interior must carry nonzero density (solid rows are "0").
+	if !strings.Contains(out, "1.0") && !strings.Contains(out, "0.99") {
+		t.Error("no plausible density values found")
+	}
+}
+
+func TestWriteProfileCSV(t *testing.T) {
+	s := poiseuilleCase(t, 8, 4, 1e-5)
+	s.Run(50)
+	var buf bytes.Buffer
+	if err := s.WriteProfileCSV(&buf, s.Dom.NX/2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "y,z,ux,uy,uz,rho" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if len(lines) < 10 {
+		t.Errorf("only %d profile rows", len(lines)-1)
+	}
+	if err := s.WriteProfileCSV(&buf, -1); err == nil {
+		t.Error("want error for plane outside domain")
+	}
+	// A plane of pure solid must error: build a domain whose x=0 plane is
+	// solid by slicing beyond... use a y/z margin trick: plane 0 of the
+	// cylinder contains fluid, so instead check the error path with a
+	// degenerate x beyond range only.
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	s := poiseuilleCase(t, 10, 4, 1e-5)
+	s.Run(37)
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh solver over identical geometry restores to the same state.
+	dom2, err := geometry.Cylinder(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSparse(dom2, Params{Tau: 0.9, PeriodicX: true, Force: [3]float64{1e-5, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Steps() != 37 {
+		t.Errorf("restored step counter %d, want 37", s2.Steps())
+	}
+	for si := 0; si < s.N(); si++ {
+		if s.Cell(si) != s2.Cell(si) {
+			t.Fatal("restored state differs")
+		}
+	}
+	// Continued evolution must match bitwise.
+	s.Run(10)
+	s2.Run(10)
+	for si := 0; si < s.N(); si++ {
+		if s.Cell(si) != s2.Cell(si) {
+			t.Fatal("post-restore trajectory diverges")
+		}
+	}
+}
+
+func TestRestoreRejectsMismatch(t *testing.T) {
+	s := poiseuilleCase(t, 10, 4, 1e-5)
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Different geometry.
+	dom, err := geometry.Cylinder(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewSparse(dom, Params{Tau: 0.9, PeriodicX: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("want error for mismatched geometry")
+	}
+	// Corrupt magic.
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[0] ^= 0xFF
+	if err := s.Restore(bytes.NewReader(bad)); err == nil {
+		t.Error("want error for corrupt magic")
+	}
+	// Truncated stream.
+	if err := s.Restore(bytes.NewReader(buf.Bytes()[:40])); err == nil {
+		t.Error("want error for truncated checkpoint")
+	}
+}

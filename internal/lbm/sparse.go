@@ -1,0 +1,328 @@
+package lbm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geometry"
+)
+
+// Sparse is the HARVEY-like engine: it stores only fluid sites, addresses
+// neighbors through an index table (indirect addressing), and runs the AB
+// propagation pattern with an array-of-structures layout — the production
+// configuration the paper benchmarks. The zero value is not usable; create
+// instances with NewSparse.
+type Sparse struct {
+	Dom    *geometry.Domain
+	Params Params
+
+	n     int                  // number of fluid sites
+	gidx  []int32              // local site -> global linear index (ascending)
+	types []geometry.PointType // local site -> classification
+
+	// neigh[s*NQ+q] is the local index of the site at x + c_q, or solidNeighbor
+	// when that site is solid (bounce-back), for every fluid site s.
+	neigh []int32
+
+	f, fnew []float64 // n*NQ distributions, AOS layout
+
+	// Inlet machinery: per-inlet-site prescribed Poiseuille velocity.
+	inletU []float64 // len n, nonzero only at inlet sites
+	// Outlet sites are relaxed to equilibrium at reference density.
+
+	// lookup maps global linear indices to local site indices (-1 for
+	// solid), kept for spatial queries (immersed-boundary coupling).
+	lookup []int32
+
+	// siteForce, when non-nil, holds a per-site body force density
+	// (fx, fy, fz per site) applied during collision in addition to the
+	// uniform Params.Force. The immersed boundary method writes it.
+	siteForce []float64
+
+	steps int // timesteps completed
+}
+
+const solidNeighbor = int32(-1)
+
+// NewSparse builds a solver for the domain. It indexes fluid sites, wires
+// the neighbor table (honoring PeriodicX), and initializes the fluid at
+// rest with unit density.
+func NewSparse(dom *geometry.Domain, p Params) (*Sparse, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sparse{Dom: dom, Params: p}
+
+	// Local indexing of fluid sites in global scan order.
+	local := make([]int32, dom.Sites())
+	for i := range local {
+		local[i] = solidNeighbor
+	}
+	s.lookup = local
+	for z := 0; z < dom.NZ; z++ {
+		for y := 0; y < dom.NY; y++ {
+			for x := 0; x < dom.NX; x++ {
+				g := dom.Index(x, y, z)
+				if dom.Types[g].IsFluid() {
+					local[g] = int32(s.n)
+					s.gidx = append(s.gidx, int32(g))
+					s.types = append(s.types, dom.Types[g])
+					s.n++
+				}
+			}
+		}
+	}
+	if s.n == 0 {
+		return nil, fmt.Errorf("lbm: domain %q has no fluid sites", dom.Name)
+	}
+
+	// Neighbor table.
+	s.neigh = make([]int32, s.n*NQ)
+	for si := 0; si < s.n; si++ {
+		x, y, z := s.coords(si)
+		for q := 0; q < NQ; q++ {
+			nx, ny, nz := x+Cx[q], y+Cy[q], z+Cz[q]
+			if p.PeriodicX {
+				if nx < 0 {
+					nx += dom.NX
+				} else if nx >= dom.NX {
+					nx -= dom.NX
+				}
+			}
+			if nx < 0 || nx >= dom.NX || ny < 0 || ny >= dom.NY || nz < 0 || nz >= dom.NZ ||
+				!dom.Types[dom.Index(nx, ny, nz)].IsFluid() {
+				s.neigh[si*NQ+q] = solidNeighbor
+			} else {
+				s.neigh[si*NQ+q] = local[dom.Index(nx, ny, nz)]
+			}
+		}
+	}
+
+	if err := s.buildInletProfile(); err != nil {
+		return nil, err
+	}
+
+	// Rest-state initialization.
+	s.f = make([]float64, s.n*NQ)
+	s.fnew = make([]float64, s.n*NQ)
+	var feq [NQ]float64
+	Equilibrium(1, 0, 0, 0, &feq)
+	for si := 0; si < s.n; si++ {
+		copy(s.f[si*NQ:si*NQ+NQ], feq[:])
+	}
+	return s, nil
+}
+
+// coords recovers (x, y, z) of local site si from its global index.
+func (s *Sparse) coords(si int) (x, y, z int) {
+	g := int(s.gidx[si])
+	x = g % s.Dom.NX
+	y = (g / s.Dom.NX) % s.Dom.NY
+	z = g / (s.Dom.NX * s.Dom.NY)
+	return x, y, z
+}
+
+// buildInletProfile computes the Poiseuille velocity for every inlet site:
+// u(r) = UMax * (1 - (r/R)^2) about the inlet centroid.
+func (s *Sparse) buildInletProfile() error {
+	s.inletU = make([]float64, s.n)
+	var cy, cz float64
+	count := 0
+	for si := 0; si < s.n; si++ {
+		if s.types[si] == geometry.Inlet {
+			_, y, z := s.coords(si)
+			cy += float64(y)
+			cz += float64(z)
+			count++
+		}
+	}
+	if count == 0 {
+		if s.Params.UMax > 0 && !s.Params.PeriodicX {
+			return fmt.Errorf("lbm: UMax set but domain %q has no inlet sites", s.Dom.Name)
+		}
+		return nil
+	}
+	cy /= float64(count)
+	cz /= float64(count)
+	var rMax float64
+	for si := 0; si < s.n; si++ {
+		if s.types[si] == geometry.Inlet {
+			_, y, z := s.coords(si)
+			dy, dz := float64(y)-cy, float64(z)-cz
+			rMax = math.Max(rMax, math.Sqrt(dy*dy+dz*dz))
+		}
+	}
+	if rMax == 0 {
+		rMax = 1 // single-site inlet: flat profile
+	}
+	// R is half a site beyond the outermost fluid site (the true wall).
+	r2 := (rMax + 0.5) * (rMax + 0.5)
+	for si := 0; si < s.n; si++ {
+		if s.types[si] == geometry.Inlet {
+			_, y, z := s.coords(si)
+			dy, dz := float64(y)-cy, float64(z)-cz
+			s.inletU[si] = s.Params.UMax * (1 - (dy*dy+dz*dz)/r2)
+		}
+	}
+	return nil
+}
+
+// N returns the number of fluid sites.
+func (s *Sparse) N() int { return s.n }
+
+// Steps returns the number of completed timesteps.
+func (s *Sparse) Steps() int { return s.steps }
+
+// Type returns the classification of local site si.
+func (s *Sparse) Type(si int) geometry.PointType { return s.types[si] }
+
+// Step advances the simulation one timestep: BGK collision with optional
+// first-order body forcing, then pull streaming with halfway bounce-back
+// on solid links, then boundary-condition overrides at inlets and outlets.
+func (s *Sparse) Step() {
+	fx, fy, fz := s.Params.Force[0], s.Params.Force[1], s.Params.Force[2]
+
+	// Collision, in place on s.f.
+	var cell [NQ]float64
+	for si := 0; si < s.n; si++ {
+		base := si * NQ
+		copy(cell[:], s.f[base:base+NQ])
+		gx, gy, gz := fx, fy, fz
+		if s.siteForce != nil {
+			gx += s.siteForce[si*3]
+			gy += s.siteForce[si*3+1]
+			gz += s.siteForce[si*3+2]
+		}
+		CollideCell(&cell, s.Params, gx, gy, gz)
+		copy(s.f[base:base+NQ], cell[:])
+	}
+
+	// Pull streaming into s.fnew: f_q(x, t+1) = f*_q(x - c_q, t); when the
+	// upstream site is solid, halfway bounce-back reads the opposite
+	// distribution of the local cell.
+	for si := 0; si < s.n; si++ {
+		base := si * NQ
+		for q := 0; q < NQ; q++ {
+			up := s.neigh[base+Opp[q]] // site at x - c_q
+			if up == solidNeighbor {
+				s.fnew[base+q] = s.f[base+Opp[q]]
+			} else {
+				s.fnew[base+q] = s.f[int(up)*NQ+q]
+			}
+		}
+	}
+
+	// Boundary conditions by equilibrium override.
+	if !s.Params.PeriodicX {
+		var bc [NQ]float64
+		scale := s.Params.Pulsatile.Scale(s.steps)
+		for si := 0; si < s.n; si++ {
+			switch s.types[si] {
+			case geometry.Inlet:
+				Equilibrium(1, s.inletU[si]*scale, 0, 0, &bc)
+				copy(s.fnew[si*NQ:si*NQ+NQ], bc[:])
+			case geometry.Outlet:
+				base := si * NQ
+				copy(cell[:], s.fnew[base:base+NQ])
+				_, ux, uy, uz := Moments(&cell)
+				Equilibrium(1, ux, uy, uz, &bc) // zero-pressure: rho pinned to 1
+				copy(s.fnew[base:base+NQ], bc[:])
+			}
+		}
+	}
+
+	s.f, s.fnew = s.fnew, s.f
+	s.steps++
+}
+
+// Run advances the given number of timesteps.
+func (s *Sparse) Run(steps int) {
+	for i := 0; i < steps; i++ {
+		s.Step()
+	}
+}
+
+// Macro returns density and velocity at local site si.
+func (s *Sparse) Macro(si int) (rho, ux, uy, uz float64) {
+	var cell [NQ]float64
+	copy(cell[:], s.f[si*NQ:si*NQ+NQ])
+	return Moments(&cell)
+}
+
+// TotalMass returns the sum of density over all fluid sites. In periodic
+// force-driven runs mass is conserved to round-off; with open boundaries
+// it approaches a steady value.
+func (s *Sparse) TotalMass() float64 {
+	var m float64
+	for i := range s.f {
+		m += s.f[i]
+	}
+	return m
+}
+
+// MaxSpeed returns the largest velocity magnitude over fluid sites, a
+// cheap stability probe (blow-ups show up as speeds near or above 1).
+func (s *Sparse) MaxSpeed() float64 {
+	var vmax float64
+	for si := 0; si < s.n; si++ {
+		_, ux, uy, uz := s.Macro(si)
+		v := math.Sqrt(ux*ux + uy*uy + uz*uz)
+		vmax = math.Max(vmax, v)
+	}
+	return vmax
+}
+
+// SiteCoords exposes the lattice coordinates of local site si, for
+// validation against analytic profiles.
+func (s *Sparse) SiteCoords(si int) (x, y, z int) { return s.coords(si) }
+
+// SiteAt returns the local index of the fluid site at lattice coordinates
+// (x, y, z), or -1 when the site is solid or outside the domain. It backs
+// the spatial queries of the immersed-boundary coupling.
+func (s *Sparse) SiteAt(x, y, z int) int {
+	if x < 0 || x >= s.Dom.NX || y < 0 || y >= s.Dom.NY || z < 0 || z >= s.Dom.NZ {
+		return -1
+	}
+	return int(s.lookup[s.Dom.Index(x, y, z)])
+}
+
+// EnableSiteForces allocates (once) the per-site body-force field used by
+// immersed-boundary coupling and returns it as a flat [n*3] slice of
+// (fx, fy, fz) triplets. Callers typically zero and refill it each step.
+func (s *Sparse) EnableSiteForces() []float64 {
+	if s.siteForce == nil {
+		s.siteForce = make([]float64, s.n*3)
+	}
+	return s.siteForce
+}
+
+// ClearSiteForces zeroes the per-site force field if enabled.
+func (s *Sparse) ClearSiteForces() {
+	for i := range s.siteForce {
+		s.siteForce[i] = 0
+	}
+}
+
+// Cell returns a copy of the distribution at local site si.
+func (s *Sparse) Cell(si int) (c [NQ]float64) {
+	copy(c[:], s.f[si*NQ:si*NQ+NQ])
+	return c
+}
+
+// SetCell overwrites the distribution at local site si.
+func (s *Sparse) SetCell(si int, c [NQ]float64) {
+	copy(s.f[si*NQ:si*NQ+NQ], c[:])
+}
+
+// InletVelocity returns the prescribed Poiseuille axial velocity at local
+// site si (zero for non-inlet sites).
+func (s *Sparse) InletVelocity(si int) float64 { return s.inletU[si] }
+
+// MFLUPS returns millions of fluid lattice-point updates per second for a
+// run of the given number of steps and wall-clock seconds (Eq. 7).
+func MFLUPS(points, steps int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(points) * float64(steps) / seconds / 1e6
+}

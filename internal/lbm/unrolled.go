@@ -1,0 +1,328 @@
+package lbm
+
+// Hand-unrolled SOA kernels. The paper's proxy-app figures distinguish SOA
+// kernels "with kernel internal for loops unrolled" from rolled ones
+// (Figures 4 and 8); unrolling removes the per-direction loop and index
+// table from the hot path. The direction constants below follow the
+// package's velocity table:
+//
+//	q : ( cx, cy, cz)        opposite
+//	0 : (  0,  0,  0)        0
+//	1 : (  1,  0,  0)        2
+//	3 : (  0,  1,  0)        4
+//	5 : (  0,  0,  1)        6
+//	7 : (  1,  1,  0)        8
+//	9 : (  1, -1,  0)        10
+//	11: (  1,  0,  1)        12
+//	13: (  1,  0, -1)        14
+//	15: (  0,  1,  1)        16
+//	17: (  0,  1, -1)        18
+
+// planes returns per-direction slice views of the SOA array a.
+func (p *Proxy) planes(a []float64) [NQ][]float64 {
+	var fs [NQ][]float64
+	for q := 0; q < NQ; q++ {
+		fs[q] = a[q*p.nsites : (q+1)*p.nsites]
+	}
+	return fs
+}
+
+// collideUnrolled performs BGK relaxation with first-order forcing on the
+// gathered cell values, fully unrolled. It returns the post-collision
+// values through the same variables by value semantics of the array.
+func (p *Proxy) collideUnrolled(c *[NQ]float64) {
+	omega := 1 / p.Params.Tau
+	fx, fy, fz := p.Params.Force[0], p.Params.Force[1], p.Params.Force[2]
+
+	rho := c[0] + c[1] + c[2] + c[3] + c[4] + c[5] + c[6] + c[7] + c[8] + c[9] +
+		c[10] + c[11] + c[12] + c[13] + c[14] + c[15] + c[16] + c[17] + c[18]
+	// Divide rather than multiply by a reciprocal so results match the
+	// rolled kernels bitwise.
+	ux := (c[1] - c[2] + c[7] - c[8] + c[9] - c[10] + c[11] - c[12] + c[13] - c[14]) / rho
+	uy := (c[3] - c[4] + c[7] - c[8] - c[9] + c[10] + c[15] - c[16] + c[17] - c[18]) / rho
+	uz := (c[5] - c[6] + c[11] - c[12] - c[13] + c[14] + c[15] - c[16] - c[17] + c[18]) / rho
+	usq := 1.5 * (ux*ux + uy*uy + uz*uz)
+
+	const w0, wf, we = 1.0 / 3, 1.0 / 18, 1.0 / 36
+	r0, rf, re := w0*rho, wf*rho, we*rho
+
+	// Rest.
+	c[0] -= omega * (c[0] - r0*(1-usq))
+
+	// Face pairs: (1,2)=±x, (3,4)=±y, (5,6)=±z.
+	cu := 3 * ux
+	c[1] -= omega * (c[1] - rf*(1+cu+0.5*cu*cu-usq))
+	c[2] -= omega * (c[2] - rf*(1-cu+0.5*cu*cu-usq))
+	cu = 3 * uy
+	c[3] -= omega * (c[3] - rf*(1+cu+0.5*cu*cu-usq))
+	c[4] -= omega * (c[4] - rf*(1-cu+0.5*cu*cu-usq))
+	cu = 3 * uz
+	c[5] -= omega * (c[5] - rf*(1+cu+0.5*cu*cu-usq))
+	c[6] -= omega * (c[6] - rf*(1-cu+0.5*cu*cu-usq))
+
+	// Edge pairs.
+	cu = 3 * (ux + uy)
+	c[7] -= omega * (c[7] - re*(1+cu+0.5*cu*cu-usq))
+	c[8] -= omega * (c[8] - re*(1-cu+0.5*cu*cu-usq))
+	cu = 3 * (ux - uy)
+	c[9] -= omega * (c[9] - re*(1+cu+0.5*cu*cu-usq))
+	c[10] -= omega * (c[10] - re*(1-cu+0.5*cu*cu-usq))
+	cu = 3 * (ux + uz)
+	c[11] -= omega * (c[11] - re*(1+cu+0.5*cu*cu-usq))
+	c[12] -= omega * (c[12] - re*(1-cu+0.5*cu*cu-usq))
+	cu = 3 * (ux - uz)
+	c[13] -= omega * (c[13] - re*(1+cu+0.5*cu*cu-usq))
+	c[14] -= omega * (c[14] - re*(1-cu+0.5*cu*cu-usq))
+	cu = 3 * (uy + uz)
+	c[15] -= omega * (c[15] - re*(1+cu+0.5*cu*cu-usq))
+	c[16] -= omega * (c[16] - re*(1-cu+0.5*cu*cu-usq))
+	cu = 3 * (uy - uz)
+	c[17] -= omega * (c[17] - re*(1+cu+0.5*cu*cu-usq))
+	c[18] -= omega * (c[18] - re*(1-cu+0.5*cu*cu-usq))
+
+	if fx != 0 || fy != 0 || fz != 0 {
+		c[1] += 3 * wf * fx
+		c[2] -= 3 * wf * fx
+		c[3] += 3 * wf * fy
+		c[4] -= 3 * wf * fy
+		c[5] += 3 * wf * fz
+		c[6] -= 3 * wf * fz
+		c[7] += 3 * we * (fx + fy)
+		c[8] -= 3 * we * (fx + fy)
+		c[9] += 3 * we * (fx - fy)
+		c[10] -= 3 * we * (fx - fy)
+		c[11] += 3 * we * (fx + fz)
+		c[12] -= 3 * we * (fx + fz)
+		c[13] += 3 * we * (fx - fz)
+		c[14] -= 3 * we * (fx - fz)
+		c[15] += 3 * we * (fy + fz)
+		c[16] -= 3 * we * (fy + fz)
+		c[17] += 3 * we * (fy - fz)
+		c[18] -= 3 * we * (fy - fz)
+	}
+}
+
+// stepABUnrolledSOA is the AB kernel with the direction loop unrolled:
+// pull-stream + collide from f into g using explicit row arithmetic.
+func (p *Proxy) stepABUnrolledSOA() {
+	p.zSlabs(p.stepABUnrolledRange)
+	p.f, p.g = p.g, p.f
+}
+
+func (p *Proxy) stepABUnrolledRange(zLo, zHi int) {
+	fs := p.planes(p.f)
+	gs := p.planes(p.g)
+	nx, ny := p.nx, p.ny
+	var c [NQ]float64
+	for z := zLo; z < zHi; z++ {
+		for y := 1; y < ny-1; y++ {
+			row := (z*ny + y) * nx
+			rowYM := (z*ny + y - 1) * nx
+			rowYP := (z*ny + y + 1) * nx
+			rowZM := ((z-1)*ny + y) * nx
+			rowZP := ((z+1)*ny + y) * nx
+			rowYMZM := ((z-1)*ny + y - 1) * nx
+			rowYMZP := ((z+1)*ny + y - 1) * nx
+			rowYPZM := ((z-1)*ny + y + 1) * nx
+			rowYPZP := ((z+1)*ny + y + 1) * nx
+			for x := 0; x < nx; x++ {
+				site := row + x
+				if !p.fluid[site] {
+					continue
+				}
+				xm, xp := p.xm1[x], p.xp1[x]
+
+				c[0] = fs[0][site]
+				pull(&c, fs[:], p.fluid, 1, row+xm, site)
+				pull(&c, fs[:], p.fluid, 2, row+xp, site)
+				pull(&c, fs[:], p.fluid, 3, rowYM+x, site)
+				pull(&c, fs[:], p.fluid, 4, rowYP+x, site)
+				pull(&c, fs[:], p.fluid, 5, rowZM+x, site)
+				pull(&c, fs[:], p.fluid, 6, rowZP+x, site)
+				pull(&c, fs[:], p.fluid, 7, rowYM+xm, site)
+				pull(&c, fs[:], p.fluid, 8, rowYP+xp, site)
+				pull(&c, fs[:], p.fluid, 9, rowYP+xm, site)
+				pull(&c, fs[:], p.fluid, 10, rowYM+xp, site)
+				pull(&c, fs[:], p.fluid, 11, rowZM+xm, site)
+				pull(&c, fs[:], p.fluid, 12, rowZP+xp, site)
+				pull(&c, fs[:], p.fluid, 13, rowZP+xm, site)
+				pull(&c, fs[:], p.fluid, 14, rowZM+xp, site)
+				pull(&c, fs[:], p.fluid, 15, rowYMZM+x, site)
+				pull(&c, fs[:], p.fluid, 16, rowYPZP+x, site)
+				pull(&c, fs[:], p.fluid, 17, rowYMZP+x, site)
+				pull(&c, fs[:], p.fluid, 18, rowYPZM+x, site)
+
+				p.collideUnrolled(&c)
+
+				gs[0][site] = c[0]
+				gs[1][site] = c[1]
+				gs[2][site] = c[2]
+				gs[3][site] = c[3]
+				gs[4][site] = c[4]
+				gs[5][site] = c[5]
+				gs[6][site] = c[6]
+				gs[7][site] = c[7]
+				gs[8][site] = c[8]
+				gs[9][site] = c[9]
+				gs[10][site] = c[10]
+				gs[11][site] = c[11]
+				gs[12][site] = c[12]
+				gs[13][site] = c[13]
+				gs[14][site] = c[14]
+				gs[15][site] = c[15]
+				gs[16][site] = c[16]
+				gs[17][site] = c[17]
+				gs[18][site] = c[18]
+			}
+		}
+	}
+}
+
+// pull loads direction q from the upstream site, or bounces back from the
+// local cell's opposite slot when the upstream site is solid.
+func pull(c *[NQ]float64, fs [][]float64, fluid []bool, q, up, site int) {
+	if fluid[up] {
+		c[q] = fs[q][up]
+	} else {
+		c[q] = fs[Opp[q]][site]
+	}
+}
+
+// stepAAUnrolledSOA is the AA kernel unrolled. Even steps are in-place
+// collide-and-swap; odd steps gather from neighbors' opposite slots and
+// scatter to neighbors' normal slots, exactly as the rolled stepAA.
+func (p *Proxy) stepAAUnrolledSOA() {
+	p.zSlabs(p.stepAAUnrolledRange)
+}
+
+func (p *Proxy) stepAAUnrolledRange(zLo, zHi int) {
+	fs := p.planes(p.f)
+	nx, ny := p.nx, p.ny
+	even := p.steps%2 == 0
+	var c [NQ]float64
+	for z := zLo; z < zHi; z++ {
+		for y := 1; y < ny-1; y++ {
+			row := (z*ny + y) * nx
+			rowYM := (z*ny + y - 1) * nx
+			rowYP := (z*ny + y + 1) * nx
+			rowZM := ((z-1)*ny + y) * nx
+			rowZP := ((z+1)*ny + y) * nx
+			rowYMZM := ((z-1)*ny + y - 1) * nx
+			rowYMZP := ((z+1)*ny + y - 1) * nx
+			rowYPZM := ((z-1)*ny + y + 1) * nx
+			rowYPZP := ((z+1)*ny + y + 1) * nx
+			for x := 0; x < nx; x++ {
+				site := row + x
+				if !p.fluid[site] {
+					continue
+				}
+				if even {
+					c[0] = fs[0][site]
+					c[1] = fs[1][site]
+					c[2] = fs[2][site]
+					c[3] = fs[3][site]
+					c[4] = fs[4][site]
+					c[5] = fs[5][site]
+					c[6] = fs[6][site]
+					c[7] = fs[7][site]
+					c[8] = fs[8][site]
+					c[9] = fs[9][site]
+					c[10] = fs[10][site]
+					c[11] = fs[11][site]
+					c[12] = fs[12][site]
+					c[13] = fs[13][site]
+					c[14] = fs[14][site]
+					c[15] = fs[15][site]
+					c[16] = fs[16][site]
+					c[17] = fs[17][site]
+					c[18] = fs[18][site]
+					p.collideUnrolled(&c)
+					fs[0][site] = c[0]
+					fs[2][site] = c[1]
+					fs[1][site] = c[2]
+					fs[4][site] = c[3]
+					fs[3][site] = c[4]
+					fs[6][site] = c[5]
+					fs[5][site] = c[6]
+					fs[8][site] = c[7]
+					fs[7][site] = c[8]
+					fs[10][site] = c[9]
+					fs[9][site] = c[10]
+					fs[12][site] = c[11]
+					fs[11][site] = c[12]
+					fs[14][site] = c[13]
+					fs[13][site] = c[14]
+					fs[16][site] = c[15]
+					fs[15][site] = c[16]
+					fs[18][site] = c[17]
+					fs[17][site] = c[18]
+					continue
+				}
+				xm, xp := p.xm1[x], p.xp1[x]
+				// Gather: f*_q(x-c_q) lives in slot opp(q) upstream, or
+				// slot q locally after an even-step bounce.
+				c[0] = fs[0][site]
+				aaGather(&c, fs[:], p.fluid, 1, row+xm, site)
+				aaGather(&c, fs[:], p.fluid, 2, row+xp, site)
+				aaGather(&c, fs[:], p.fluid, 3, rowYM+x, site)
+				aaGather(&c, fs[:], p.fluid, 4, rowYP+x, site)
+				aaGather(&c, fs[:], p.fluid, 5, rowZM+x, site)
+				aaGather(&c, fs[:], p.fluid, 6, rowZP+x, site)
+				aaGather(&c, fs[:], p.fluid, 7, rowYM+xm, site)
+				aaGather(&c, fs[:], p.fluid, 8, rowYP+xp, site)
+				aaGather(&c, fs[:], p.fluid, 9, rowYP+xm, site)
+				aaGather(&c, fs[:], p.fluid, 10, rowYM+xp, site)
+				aaGather(&c, fs[:], p.fluid, 11, rowZM+xm, site)
+				aaGather(&c, fs[:], p.fluid, 12, rowZP+xp, site)
+				aaGather(&c, fs[:], p.fluid, 13, rowZP+xm, site)
+				aaGather(&c, fs[:], p.fluid, 14, rowZM+xp, site)
+				aaGather(&c, fs[:], p.fluid, 15, rowYMZM+x, site)
+				aaGather(&c, fs[:], p.fluid, 16, rowYPZP+x, site)
+				aaGather(&c, fs[:], p.fluid, 17, rowYMZP+x, site)
+				aaGather(&c, fs[:], p.fluid, 18, rowYPZM+x, site)
+
+				p.collideUnrolled(&c)
+
+				// Scatter downstream (push), bouncing into the local
+				// opposite slot at solid links.
+				fs[0][site] = c[0]
+				aaScatter(&c, fs[:], p.fluid, 1, row+xp, site)
+				aaScatter(&c, fs[:], p.fluid, 2, row+xm, site)
+				aaScatter(&c, fs[:], p.fluid, 3, rowYP+x, site)
+				aaScatter(&c, fs[:], p.fluid, 4, rowYM+x, site)
+				aaScatter(&c, fs[:], p.fluid, 5, rowZP+x, site)
+				aaScatter(&c, fs[:], p.fluid, 6, rowZM+x, site)
+				aaScatter(&c, fs[:], p.fluid, 7, rowYP+xp, site)
+				aaScatter(&c, fs[:], p.fluid, 8, rowYM+xm, site)
+				aaScatter(&c, fs[:], p.fluid, 9, rowYM+xp, site)
+				aaScatter(&c, fs[:], p.fluid, 10, rowYP+xm, site)
+				aaScatter(&c, fs[:], p.fluid, 11, rowZP+xp, site)
+				aaScatter(&c, fs[:], p.fluid, 12, rowZM+xm, site)
+				aaScatter(&c, fs[:], p.fluid, 13, rowZM+xp, site)
+				aaScatter(&c, fs[:], p.fluid, 14, rowZP+xm, site)
+				aaScatter(&c, fs[:], p.fluid, 15, rowYPZP+x, site)
+				aaScatter(&c, fs[:], p.fluid, 16, rowYMZM+x, site)
+				aaScatter(&c, fs[:], p.fluid, 17, rowYPZM+x, site)
+				aaScatter(&c, fs[:], p.fluid, 18, rowYMZP+x, site)
+			}
+		}
+	}
+}
+
+// aaGather reads direction q during an AA odd step.
+func aaGather(c *[NQ]float64, fs [][]float64, fluid []bool, q, up, site int) {
+	if fluid[up] {
+		c[q] = fs[Opp[q]][up]
+	} else {
+		c[q] = fs[q][site]
+	}
+}
+
+// aaScatter writes direction q during an AA odd step.
+func aaScatter(c *[NQ]float64, fs [][]float64, fluid []bool, q, down, site int) {
+	if fluid[down] {
+		fs[q][down] = c[q]
+	} else {
+		fs[Opp[q]][site] = c[q]
+	}
+}

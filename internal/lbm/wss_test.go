@@ -1,0 +1,148 @@
+package lbm
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWallForceBalanceAtSteadyState(t *testing.T) {
+	// In a periodic force-driven pipe at steady state, the momentum the
+	// body force injects each step is transferred to the wall: the force
+	// ON the wall satisfies sum(Fx) = +g * N (the wall, in reaction,
+	// holds the fluid back).
+	const g = 1e-5
+	s := poiseuilleCase(t, 10, 6, g)
+	prev := -1.0
+	for i := 0; i < 200; i++ {
+		s.Run(100)
+		var umax float64
+		for si := 0; si < s.N(); si++ {
+			_, ux, _, _ := s.Macro(si)
+			umax = math.Max(umax, ux)
+		}
+		if math.Abs(umax-prev) < 1e-12 {
+			break
+		}
+		prev = umax
+	}
+	fx, fy, fz := s.TotalDrag()
+	injected := g * float64(s.N())
+	if rel := math.Abs(fx-injected) / injected; rel > 0.02 {
+		t.Errorf("drag %v does not balance injected force %v (rel %v)", fx, injected, rel)
+	}
+	// Transverse drag vanishes by symmetry (up to staircase asymmetry).
+	if math.Abs(fy) > 0.05*injected || math.Abs(fz) > 0.05*injected {
+		t.Errorf("transverse drag (%v, %v) too large", fy, fz)
+	}
+}
+
+func TestWallForcesZeroAtRest(t *testing.T) {
+	s := poiseuilleCase(t, 8, 4, 0)
+	for _, w := range s.WallForces() {
+		// At uniform rest, opposing links cancel: only the staircase rim
+		// produces tiny asymmetries, which must still be ~0 with no flow.
+		if w.Magnitude() > 1e-12 {
+			t.Fatalf("rest-state wall force %v at site %d", w.Magnitude(), w.Site)
+		}
+	}
+}
+
+func TestWallForcesOnlyAtWallSites(t *testing.T) {
+	s := poiseuilleCase(t, 8, 4, 1e-5)
+	s.Run(50)
+	forces := s.WallForces()
+	if len(forces) == 0 {
+		t.Fatal("no wall forces on a cylinder")
+	}
+	for _, w := range forces {
+		solid := false
+		for q := 1; q < NQ; q++ {
+			if s.Neighbor(w.Site, q) < 0 {
+				solid = true
+				break
+			}
+		}
+		if !solid {
+			t.Fatalf("site %d reported a wall force without solid links", w.Site)
+		}
+	}
+}
+
+func TestWallForcesDoNotPerturbState(t *testing.T) {
+	s := poiseuilleCase(t, 8, 4, 1e-5)
+	s.Run(20)
+	before := make([][NQ]float64, s.N())
+	for si := range before {
+		before[si] = s.Cell(si)
+	}
+	s.WallForces()
+	for si := range before {
+		if s.Cell(si) != before[si] {
+			t.Fatal("WallForces mutated solver state")
+		}
+	}
+}
+
+func TestWriteWSSCSV(t *testing.T) {
+	s := poiseuilleCase(t, 8, 4, 1e-5)
+	s.Run(50)
+	var buf bytes.Buffer
+	if err := s.WriteWSSCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "x,y,z,fx,fy,fz,shear,normal" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) < 20 {
+		t.Errorf("only %d WSS rows", len(lines)-1)
+	}
+}
+
+func TestWSSHigherNearWallThanAnalytic(t *testing.T) {
+	// Poiseuille wall shear is tau = g*R/2 per unit area; per-site force
+	// magnitudes at steady state should cluster near that scale (within
+	// a staircase-geometry factor).
+	const g = 1e-5
+	s := poiseuilleCase(t, 8, 6, g)
+	s.Run(4000)
+	forces := s.WallForces()
+	var mean float64
+	for _, w := range forces {
+		mean += w.Magnitude()
+	}
+	mean /= float64(len(forces))
+	analytic := g * 6.5 / 2 // tau_wall = g R / 2
+	if mean < analytic/10 || mean > analytic*10 {
+		t.Errorf("mean wall force %v far from analytic shear scale %v", mean, analytic)
+	}
+}
+
+func TestShearNormalDecomposition(t *testing.T) {
+	s := poiseuilleCase(t, 10, 6, 1e-5)
+	s.Run(2000)
+	forces := s.WallForces()
+	var shearSum, normSum float64
+	for _, w := range forces {
+		// Pythagoras: shear² + normal² == magnitude² (within round-off).
+		m2 := w.Magnitude() * w.Magnitude()
+		d2 := w.Shear()*w.Shear() + w.NormalForce()*w.NormalForce()
+		if math.Abs(m2-d2) > 1e-15+1e-9*m2 {
+			t.Fatalf("decomposition broken at site %d: %v vs %v", w.Site, m2, d2)
+		}
+		// The normal estimate is unit length for every wall site.
+		n := math.Sqrt(w.Nx*w.Nx + w.Ny*w.Ny + w.Nz*w.Nz)
+		if math.Abs(n-1) > 1e-12 {
+			t.Fatalf("normal not unit length at site %d: %v", w.Site, n)
+		}
+		shearSum += w.Shear()
+		normSum += math.Abs(w.NormalForce())
+	}
+	// In steady periodic Poiseuille the pressure is uniform, so the wall
+	// load is predominantly tangential shear.
+	if shearSum <= normSum {
+		t.Errorf("shear (%v) should dominate normal load (%v) in Poiseuille", shearSum, normSum)
+	}
+}

@@ -1,0 +1,53 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGPUCatalogRow(t *testing.T) {
+	g := NewCSP2GPU()
+	if g.GPU == nil {
+		t.Fatal("GPU spec missing")
+	}
+	if g.CoresPerNode != g.GPU.PerNode {
+		t.Errorf("rank placement: CoresPerNode %d != GPUs per node %d", g.CoresPerNode, g.GPU.PerNode)
+	}
+	if g.MaxRanks() != 16 {
+		t.Errorf("MaxRanks = %d, want 16 (4 nodes x 4 GPUs)", g.MaxRanks())
+	}
+	// Per-rank bandwidth is the device bandwidth, regardless of how many
+	// ranks share a node (each owns its own device).
+	for n := 1.0; n <= 4; n++ {
+		perRank := g.Mem.Bandwidth(n) / n
+		if perRank != g.GPU.MemBWMBps {
+			t.Errorf("per-rank bandwidth at %v ranks = %v, want %v", n, perRank, g.GPU.MemBWMBps)
+		}
+	}
+}
+
+func TestGPUFarExceedsCPUBandwidth(t *testing.T) {
+	g, c := NewCSP2GPU(), NewCSP2()
+	if g.Mem.Bandwidth(4) <= c.Mem.Saturation()*4 {
+		t.Error("GPU node bandwidth should dwarf the CPU node's")
+	}
+}
+
+func TestSamplePCIeTime(t *testing.T) {
+	g := NewCSP2GPU()
+	rng := rand.New(rand.NewSource(1))
+	small := g.SamplePCIeTimeUS(0, rng)
+	big := g.SamplePCIeTimeUS(1<<24, rng)
+	if small <= 0 || big <= small {
+		t.Errorf("PCIe times implausible: %v, %v", small, big)
+	}
+}
+
+func TestSamplePCIePanicsOnCPUSystem(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for CPU-only system")
+		}
+	}()
+	NewTRC().SamplePCIeTimeUS(0, rand.New(rand.NewSource(1)))
+}

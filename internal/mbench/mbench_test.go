@@ -1,0 +1,223 @@
+package mbench
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestStreamSweepSimNoiseless(t *testing.T) {
+	sys := machine.NewTRC()
+	pts := StreamSweepSim(sys, false, 1, nil)
+	if len(pts) != sys.CoresPerNode {
+		t.Fatalf("sweep has %d points, want %d", len(pts), sys.CoresPerNode)
+	}
+	for i, p := range pts {
+		if p.Threads != i+1 {
+			t.Fatalf("point %d has threads %d", i, p.Threads)
+		}
+		want := sys.Mem.Bandwidth(float64(p.Threads))
+		if math.Abs(p.BandwidthMBps-want) > 1e-9 {
+			t.Fatalf("noiseless point deviates from model: %v vs %v", p.BandwidthMBps, want)
+		}
+	}
+}
+
+func TestStreamSweepSimHyperthreaded(t *testing.T) {
+	sys := machine.NewCSP2()
+	pts := StreamSweepSim(sys, true, 3, rand.New(rand.NewSource(1)))
+	if len(pts) != sys.CoresPerNode*sys.VCPUsPerCore {
+		t.Fatalf("hyperthreaded sweep has %d points, want %d", len(pts), 72)
+	}
+	// Bandwidth beyond physical cores must not exceed the physical peak.
+	peak := 0.0
+	for _, p := range pts[:sys.CoresPerNode] {
+		peak = math.Max(peak, p.BandwidthMBps)
+	}
+	for _, p := range pts[sys.CoresPerNode:] {
+		if p.BandwidthMBps > peak*1.05 {
+			t.Errorf("HT bandwidth %v exceeds physical peak %v", p.BandwidthMBps, peak)
+		}
+	}
+}
+
+func TestFitStreamRecoversTable3(t *testing.T) {
+	// Characterizing a noiseless modeled system must recover its Table III
+	// parameters — the round trip at the heart of the framework.
+	for _, sys := range machine.Catalog() {
+		pts := StreamSweepSim(sys, false, 1, nil)
+		got, err := FitStream(pts)
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Abbrev, err)
+		}
+		if rel := math.Abs(got.A1-sys.Mem.A1) / sys.Mem.A1; rel > 0.05 {
+			t.Errorf("%s: a1 = %v, want %v", sys.Abbrev, got.A1, sys.Mem.A1)
+		}
+		if math.Abs(got.A3-sys.Mem.A3) > 1.0 {
+			t.Errorf("%s: a3 = %v, want %v", sys.Abbrev, got.A3, sys.Mem.A3)
+		}
+	}
+}
+
+func TestDefaultMessageSizes(t *testing.T) {
+	sizes := DefaultMessageSizes()
+	if sizes[0] != 0 {
+		t.Error("first size must be 0 bytes (latency anchor)")
+	}
+	if sizes[len(sizes)-1] != 4*1024*1024 {
+		t.Errorf("last size %v, want 4 MiB", sizes[len(sizes)-1])
+	}
+	for i := 2; i < len(sizes); i++ {
+		if sizes[i] != 2*sizes[i-1] {
+			t.Errorf("sizes not doubling at %d: %v after %v", i, sizes[i], sizes[i-1])
+		}
+	}
+}
+
+func TestFitPingPongRecoversLink(t *testing.T) {
+	for _, sys := range []*machine.System{machine.NewTRC(), machine.NewCSP2(), machine.NewCSP2EC()} {
+		pts := PingPongSweepSim(sys, false, DefaultMessageSizes(), 1, nil)
+		link, line, err := FitPingPong(pts)
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Abbrev, err)
+		}
+		if rel := math.Abs(link.BandwidthMBps-sys.InterNode.BandwidthMBps) / sys.InterNode.BandwidthMBps; rel > 0.01 {
+			t.Errorf("%s: bandwidth %v, want %v", sys.Abbrev, link.BandwidthMBps, sys.InterNode.BandwidthMBps)
+		}
+		if math.Abs(link.LatencyUS-sys.InterNode.LatencyUS) > 0.01*sys.InterNode.LatencyUS {
+			t.Errorf("%s: latency %v, want %v", sys.Abbrev, link.LatencyUS, sys.InterNode.LatencyUS)
+		}
+		if line.R2 < 0.999 {
+			t.Errorf("%s: noiseless fit R² = %v", sys.Abbrev, line.R2)
+		}
+	}
+}
+
+func TestFitPingPongIntraVsInter(t *testing.T) {
+	sys := machine.NewCSP2()
+	intra, _, err := FitPingPong(PingPongSweepSim(sys, true, DefaultMessageSizes(), 1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, _, err := FitPingPong(PingPongSweepSim(sys, false, DefaultMessageSizes(), 1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intra.LatencyUS >= inter.LatencyUS {
+		t.Error("intra-node latency should be below inter-node")
+	}
+	if intra.BandwidthMBps <= inter.BandwidthMBps {
+		t.Error("intra-node bandwidth should exceed inter-node")
+	}
+}
+
+func TestFitPingPongNoisy(t *testing.T) {
+	sys := machine.NewCSP2EC()
+	pts := PingPongSweepSim(sys, false, DefaultMessageSizes(), 25, rand.New(rand.NewSource(5)))
+	link, _, err := FitPingPong(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(link.BandwidthMBps-sys.InterNode.BandwidthMBps) / sys.InterNode.BandwidthMBps; rel > 0.1 {
+		t.Errorf("noisy bandwidth fit off by %v%%", rel*100)
+	}
+}
+
+func TestFitPingPongValidation(t *testing.T) {
+	if _, _, err := FitPingPong(nil); err == nil {
+		t.Error("want error for no points")
+	}
+	// Without a zero-byte point the smallest message anchors latency.
+	pts := []PingPongPoint{{Bytes: 8, TimeUS: 20.1}, {Bytes: 1024, TimeUS: 21}, {Bytes: 1 << 20, TimeUS: 500}}
+	link, _, err := FitPingPong(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if link.LatencyUS != 20.1 {
+		t.Errorf("latency anchor %v, want 20.1", link.LatencyUS)
+	}
+}
+
+func TestStreamKernelStrings(t *testing.T) {
+	want := map[StreamKernel]string{Copy: "Copy", Scale: "Scale", Add: "Add", Triad: "Triad"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if StreamKernel(9).String() != "StreamKernel(9)" {
+		t.Error("unknown kernel string wrong")
+	}
+}
+
+func TestStreamHostRuns(t *testing.T) {
+	for _, k := range []StreamKernel{Copy, Scale, Add, Triad} {
+		bw, err := StreamHost(k, 2, 1<<20, 3)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		// Any functioning machine moves well over 100 MB/s.
+		if bw < 100 {
+			t.Errorf("%v: implausible bandwidth %v MB/s", k, bw)
+		}
+	}
+}
+
+func TestStreamHostValidation(t *testing.T) {
+	if _, err := StreamHost(Copy, 0, 100, 1); err == nil {
+		t.Error("want error for zero threads")
+	}
+	if _, err := StreamHost(Copy, 8, 4, 1); err == nil {
+		t.Error("want error for n < threads")
+	}
+	if _, err := StreamHost(Copy, 1, 100, 0); err == nil {
+		t.Error("want error for zero iters")
+	}
+}
+
+func TestPingPongHostRuns(t *testing.T) {
+	us, err := PingPongHost(4096, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if us <= 0 || us > 1e5 {
+		t.Errorf("implausible one-way time %v µs", us)
+	}
+	// Bigger messages must not be faster on average (weak sanity check).
+	big, err := PingPongHost(1<<20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big < us/10 {
+		t.Errorf("1 MiB (%v µs) implausibly faster than 4 KiB (%v µs)", big, us)
+	}
+}
+
+func TestPingPongHostValidation(t *testing.T) {
+	if _, err := PingPongHost(-1, 10); err == nil {
+		t.Error("want error for negative size")
+	}
+	if _, err := PingPongHost(10, 0); err == nil {
+		t.Error("want error for zero iters")
+	}
+}
+
+func TestStreamHostSweep(t *testing.T) {
+	pts, err := StreamHostSweep(Copy, 2, 1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Threads != 1 || pts[1].Threads != 2 {
+		t.Fatalf("sweep shape wrong: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.BandwidthMBps < 100 {
+			t.Errorf("implausible host bandwidth %v", p.BandwidthMBps)
+		}
+	}
+	if _, err := StreamHostSweep(Copy, 0, 100, 1); err == nil {
+		t.Error("want error for zero maxThreads")
+	}
+}

@@ -1,0 +1,247 @@
+package par
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/decomp"
+	"repro/internal/geometry"
+	"repro/internal/lbm"
+)
+
+func setup(t *testing.T, dom *geometry.Domain, p lbm.Params, ntasks int) (*lbm.Sparse, *Runner) {
+	t.Helper()
+	serial, err := lbm.NewSparse(dom, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := decomp.RCB(serial, ntasks, lbm.HarveyAccess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := NewRunner(serial, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serial, runner
+}
+
+// TestParallelMatchesSerialBitwise is the central oracle: the decomposed
+// run must reproduce the serial trajectory exactly, for several rank
+// counts, on both periodic force-driven and inlet/outlet flows.
+func TestParallelMatchesSerialBitwise(t *testing.T) {
+	cases := []struct {
+		name string
+		dom  func() (*geometry.Domain, error)
+		p    lbm.Params
+	}{
+		{"periodic-cylinder", func() (*geometry.Domain, error) { return geometry.Cylinder(16, 5) },
+			lbm.Params{Tau: 0.9, PeriodicX: true, Force: [3]float64{1e-5, 0, 0}}},
+		{"inlet-cylinder", func() (*geometry.Domain, error) { return geometry.Cylinder(16, 5) },
+			lbm.Params{Tau: 0.9, UMax: 0.03}},
+		{"aorta", func() (*geometry.Domain, error) { return geometry.Aorta(4) },
+			lbm.Params{Tau: 0.95, UMax: 0.02}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, ntasks := range []int{2, 5, 16} {
+				dom, err := tc.dom()
+				if err != nil {
+					t.Fatal(err)
+				}
+				serial, runner := setup(t, dom, tc.p, ntasks)
+				const steps = 25
+				serial.Run(steps)
+				runner.Run(steps)
+				for si := 0; si < serial.N(); si++ {
+					want := serial.Cell(si)
+					got := runner.Cell(si)
+					if want != got {
+						t.Fatalf("ntasks=%d site %d: parallel diverges from serial\n got %v\nwant %v",
+							ntasks, si, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRunnerSingleTask(t *testing.T) {
+	dom, err := geometry.Cylinder(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, runner := setup(t, dom, lbm.Params{Tau: 0.9, UMax: 0.02}, 1)
+	serial.Run(10)
+	runner.Run(10)
+	for si := 0; si < serial.N(); si++ {
+		if serial.Cell(si) != runner.Cell(si) {
+			t.Fatal("single-task runner diverges from serial")
+		}
+	}
+}
+
+func TestRunnerMassMatchesSerial(t *testing.T) {
+	dom, err := geometry.Cylinder(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lbm.Params{Tau: 0.9, PeriodicX: true, Force: [3]float64{1e-5, 0, 0}}
+	serial, runner := setup(t, dom, p, 8)
+	serial.Run(30)
+	runner.Run(30)
+	if d := math.Abs(serial.TotalMass() - runner.TotalMass()); d > 1e-9 {
+		t.Errorf("mass differs by %v", d)
+	}
+}
+
+func TestRunnerIncrementalRuns(t *testing.T) {
+	// Run(a) then Run(b) must equal Run(a+b).
+	dom, err := geometry.Cylinder(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lbm.Params{Tau: 0.9, UMax: 0.02}
+	_, r1 := setup(t, dom, p, 4)
+	r1.Run(9)
+	r1.Run(11)
+
+	dom2, err := geometry.Cylinder(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r2 := setup(t, dom2, p, 4)
+	r2.Run(20)
+
+	if r1.Steps() != 20 || r2.Steps() != 20 {
+		t.Fatalf("step counters wrong: %d, %d", r1.Steps(), r2.Steps())
+	}
+	for si := 0; si < len(r1.ownerOf); si++ {
+		if r1.Cell(si) != r2.Cell(si) {
+			t.Fatal("incremental runs diverge from single run")
+		}
+	}
+}
+
+func TestWriteBack(t *testing.T) {
+	dom, err := geometry.Cylinder(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lbm.Params{Tau: 0.9, UMax: 0.02}
+	serial, runner := setup(t, dom, p, 4)
+	runner.Run(15)
+	runner.WriteBack(serial)
+	for si := 0; si < serial.N(); si++ {
+		if serial.Cell(si) != runner.Cell(si) {
+			t.Fatal("WriteBack did not copy state")
+		}
+	}
+}
+
+func TestNewRunnerRejectsMismatchedPartition(t *testing.T) {
+	dom, err := geometry.Cylinder(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := lbm.NewSparse(dom, lbm.Params{Tau: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &decomp.Partition{NTasks: 2, Owner: make([]int32, 3)}
+	if _, err := NewRunner(s, bad); err == nil {
+		t.Error("want error for mismatched partition")
+	}
+}
+
+func TestRunnerStartsFromCurrentState(t *testing.T) {
+	// The runner must pick up the serial engine's evolved state, not the
+	// initial condition.
+	dom, err := geometry.Cylinder(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lbm.Params{Tau: 0.9, UMax: 0.02}
+	serial, err := lbm.NewSparse(dom, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial.Run(10) // evolve before decomposing
+	part, err := decomp.RCB(serial, 4, lbm.HarveyAccess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := NewRunner(serial, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial.Run(10)
+	runner.Run(10)
+	for si := 0; si < serial.N(); si++ {
+		if serial.Cell(si) != runner.Cell(si) {
+			t.Fatal("runner did not start from evolved state")
+		}
+	}
+}
+
+func TestRunnerStats(t *testing.T) {
+	dom, err := geometry.Cylinder(20, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runner := setup(t, dom, lbm.Params{Tau: 0.9, PeriodicX: true, Force: [3]float64{1e-5, 0, 0}}, 4)
+	runner.Run(20)
+	stats := runner.Stats()
+	if len(stats) != 4 {
+		t.Fatalf("stats for %d ranks, want 4", len(stats))
+	}
+	for _, s := range stats {
+		if s.ComputeS <= 0 {
+			t.Errorf("rank %d has zero compute time", s.Rank)
+		}
+		if s.CommS < 0 {
+			t.Errorf("rank %d has negative comm time", s.Rank)
+		}
+		// With 4 ranks exchanging halos every step, communication happens.
+		if s.CommS == 0 {
+			t.Errorf("rank %d recorded no communication", s.Rank)
+		}
+	}
+}
+
+func TestParallelPulsatileMatchesSerial(t *testing.T) {
+	// The pulsatile inlet depends on the global step index, which the
+	// parallel runner must thread through identically across Run calls.
+	dom, err := geometry.Cylinder(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lbm.Params{Tau: 0.9, UMax: 0.03, Pulsatile: lbm.Waveform{Period: 40, Amplitude: 0.5}}
+	serial, runner := setup(t, dom, p, 6)
+	serial.Run(30)
+	runner.Run(13) // split across calls: step-index bookkeeping must hold
+	runner.Run(17)
+	for si := 0; si < serial.N(); si++ {
+		if serial.Cell(si) != runner.Cell(si) {
+			t.Fatal("pulsatile parallel run diverges from serial")
+		}
+	}
+}
+
+func TestParallelTRTMatchesSerial(t *testing.T) {
+	// The shared lbm.CollideCell keeps the bitwise oracle intact for the
+	// TRT operator too.
+	dom, err := geometry.Cylinder(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lbm.Params{Tau: 0.9, UMax: 0.02, Collision: lbm.TRT}
+	serial, runner := setup(t, dom, p, 6)
+	serial.Run(25)
+	runner.Run(25)
+	for si := 0; si < serial.N(); si++ {
+		if serial.Cell(si) != runner.Cell(si) {
+			t.Fatal("TRT parallel run diverges from serial")
+		}
+	}
+}

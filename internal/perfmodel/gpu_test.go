@@ -1,0 +1,159 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/decomp"
+	"repro/internal/lbm"
+	"repro/internal/machine"
+	"repro/internal/simcloud"
+)
+
+func TestCharacterizeGPUIncludesPCIe(t *testing.T) {
+	sys := machine.NewCSP2GPU()
+	c := characterizeNoiseless(t, sys)
+	if c.PCIe == nil || len(c.RawPCIe) == 0 {
+		t.Fatal("GPU characterization missing PCIe link")
+	}
+	if rel := c.PCIe.BandwidthMBps / sys.GPU.PCIe.BandwidthMBps; rel < 0.98 || rel > 1.02 {
+		t.Errorf("PCIe bandwidth fit %v, want near %v", c.PCIe.BandwidthMBps, sys.GPU.PCIe.BandwidthMBps)
+	}
+	// CPU systems have no PCIe characterization.
+	cpu := characterizeNoiseless(t, machine.NewCSP2())
+	if cpu.PCIe != nil {
+		t.Error("CPU characterization grew a PCIe link")
+	}
+}
+
+func TestGPUDirectModelHasCPUGPUTerm(t *testing.T) {
+	s := cylinderSolver(t)
+	sys := machine.NewCSP2GPU()
+	c := characterizeNoiseless(t, sys)
+	p, err := decomp.RCB(s, 16, lbm.HarveyAccess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := simcloud.FromPartition("cyl", s.N(), p)
+	pred, err := c.PredictDirect(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.CPUGPUs <= 0 {
+		t.Error("GPU prediction missing the t_CPU-GPU term")
+	}
+	// The term is part of the total.
+	if pred.SecondsPerStep < pred.MemS+pred.CPUGPUs {
+		t.Error("t_CPU-GPU not included in the step time")
+	}
+
+	// CPU prediction has no such term.
+	cpuChar := characterizeNoiseless(t, machine.NewCSP2())
+	p2, err := decomp.RCB(s, 16, lbm.HarveyAccess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := simcloud.FromPartition("cyl", s.N(), p2)
+	cpuPred, err := cpuChar.PredictDirect(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpuPred.CPUGPUs != 0 {
+		t.Error("CPU prediction grew a t_CPU-GPU term")
+	}
+}
+
+func TestGPUModelTracksSimulatedTruth(t *testing.T) {
+	s := cylinderSolver(t)
+	sys := machine.NewCSP2GPU()
+	c := characterizeNoiseless(t, sys)
+	for _, ranks := range []int{4, 8, 16} {
+		p, err := decomp.RCB(s, ranks, lbm.HarveyAccess())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := simcloud.FromPartition("cyl", s.N(), p)
+		pred, err := c.PredictDirect(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual, err := simcloud.Run(w, sys, 10, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio := pred.MFLUPS / actual.MFLUPS; ratio < 0.5 || ratio > 2 {
+			t.Errorf("ranks=%d: GPU prediction %v vs simulated %v", ranks, pred.MFLUPS, actual.MFLUPS)
+		}
+	}
+}
+
+func TestGPUNodeBeatsCPUNode(t *testing.T) {
+	// The whole point of GPUs for LBM: one GPU node (4 ranks, one per
+	// device) outruns one fully loaded CPU node (36 ranks) on memory-
+	// bound work. At equal *rank* counts the GPU instance can lose —
+	// 16 GPU ranks span 4 nodes of interconnect latency while 16 CPU
+	// ranks share one node — which is exactly the placement arithmetic
+	// the dashboard exists to expose.
+	s := cylinderSolver(t)
+	m := lbm.HarveyAccess()
+	pGPU, err := decomp.RCB(s, 4, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := simcloud.Run(simcloud.FromPartition("cyl", s.N(), pGPU), machine.NewCSP2GPU(), 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pCPU, err := decomp.RCB(s, 36, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := simcloud.Run(simcloud.FromPartition("cyl", s.N(), pCPU), machine.NewCSP2(), 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpu.MFLUPS <= cpu.MFLUPS {
+		t.Errorf("GPU node (%v) not above CPU node (%v)", gpu.MFLUPS, cpu.MFLUPS)
+	}
+	// And the simulated GPU timing carries the staging term.
+	if gpu.MaxTiming().CPUGPUs <= 0 {
+		t.Error("simulated GPU run missing CPU-GPU staging time")
+	}
+}
+
+func TestGeneralModelGPUHasPCIeTerm(t *testing.T) {
+	s := cylinderSolver(t)
+	sys := machine.NewCSP2GPU()
+	c := characterizeNoiseless(t, sys)
+	g, err := CalibrateGeneral(s, lbm.HarveyAccess(), []int{1, 2, 4, 8, 16}, sys.CoresPerNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := WorkloadSummary{Name: "cyl", Points: s.N(), BytesSerial: s.BytesSerial(lbm.HarveyAccess())}
+	pred, err := c.PredictGeneral(ws, g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.CPUGPUs <= 0 {
+		t.Error("generalized GPU prediction missing the t_CPU-GPU term")
+	}
+	serial, err := c.PredictGeneral(ws, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.CPUGPUs != 0 {
+		t.Error("serial prediction should have no staging term")
+	}
+	// CPU systems never get one.
+	cpu := characterizeNoiseless(t, machine.NewCSP2())
+	gc, err := CalibrateGeneral(s, lbm.HarveyAccess(), []int{1, 2, 4, 8, 16, 32, 64, 128}, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := cpu.PredictGeneral(ws, gc, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.CPUGPUs != 0 {
+		t.Error("CPU generalized prediction grew a staging term")
+	}
+}

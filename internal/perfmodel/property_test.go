@@ -1,0 +1,92 @@
+package perfmodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fit"
+	"repro/internal/machine"
+)
+
+// The generalized model's physical monotonicities, checked as properties:
+// more work means more time, never less throughput from less work.
+
+// logLaw builds an Eq. 11 law with the given parameters.
+func logLaw(c1, c2 float64) fit.LogLaw { return fit.LogLaw{C1: c1, C2: c2} }
+
+func TestGeneralMonotoneInBytes(t *testing.T) {
+	c, g := fixtureCG(t)
+	rng := rand.New(rand.NewSource(77))
+	f := func(scaleRaw uint8) bool {
+		scale := 1 + float64(scaleRaw%50)
+		base := WorkloadSummary{Name: "w", Points: 100000, BytesSerial: 3.5e7}
+		bigger := base
+		bigger.BytesSerial *= 1 + scale
+		ranks := 2 + rng.Intn(140)
+		p1, err := c.PredictGeneral(base, g, ranks)
+		if err != nil {
+			return false
+		}
+		p2, err := c.PredictGeneral(bigger, g, ranks)
+		if err != nil {
+			return false
+		}
+		return p2.SecondsPerStep > p1.SecondsPerStep
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func fixtureCG(t *testing.T) (*Characterization, GeneralModel) {
+	t.Helper()
+	c := characterizeNoiseless(t, machine.NewCSP2())
+	g := GeneralModel{
+		Z:              logLaw(0.1, 0.02),
+		Events:         DefaultEventsLaw(),
+		PointCommBytes: DefaultPointCommBytes,
+	}
+	return c, g
+}
+
+func TestGeneralMonotoneInLatency(t *testing.T) {
+	c, g := fixtureCG(t)
+	slow := *c
+	slow.Inter.LatencyUS = c.Inter.LatencyUS * 10
+	ws := WorkloadSummary{Name: "w", Points: 100000, BytesSerial: 3.5e7}
+	for _, ranks := range []int{72, 144, 512} { // multi-node
+		fast, err := c.PredictGeneral(ws, g, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lagged, err := slow.PredictGeneral(ws, g, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lagged.MFLUPS >= fast.MFLUPS {
+			t.Errorf("ranks=%d: higher latency did not reduce throughput (%v vs %v)",
+				ranks, lagged.MFLUPS, fast.MFLUPS)
+		}
+	}
+}
+
+func TestGeneralMoreImbalanceSlower(t *testing.T) {
+	c, _ := fixtureCG(t)
+	balanced := GeneralModel{Z: logLaw(0, 0.02), Events: DefaultEventsLaw(), PointCommBytes: DefaultPointCommBytes}
+	skewed := GeneralModel{Z: logLaw(0.5, 0.05), Events: DefaultEventsLaw(), PointCommBytes: DefaultPointCommBytes}
+	ws := WorkloadSummary{Name: "w", Points: 100000, BytesSerial: 3.5e7}
+	for _, ranks := range []int{8, 64, 256} {
+		pb, err := c.PredictGeneral(ws, balanced, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psk, err := c.PredictGeneral(ws, skewed, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ranks > 1 && psk.MFLUPS >= pb.MFLUPS {
+			t.Errorf("ranks=%d: imbalance did not cost throughput (%v vs %v)", ranks, psk.MFLUPS, pb.MFLUPS)
+		}
+	}
+}

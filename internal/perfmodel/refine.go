@@ -1,0 +1,135 @@
+package perfmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/fit"
+)
+
+// Record pairs one model prediction with the measurement that followed it.
+// The paper's Discussion: "storing all measured performance along with the
+// estimated performance model prediction will be critical to iteratively
+// refining the performance models".
+type Record struct {
+	Workload  string  `json:"workload"`
+	System    string  `json:"system"`
+	Model     string  `json:"model"` // "direct" or "generalized"
+	Ranks     int     `json:"ranks"`
+	Predicted float64 `json:"predicted_mflups"`
+	Measured  float64 `json:"measured_mflups"`
+}
+
+// Refiner accumulates prediction/measurement pairs and derives
+// multiplicative calibration factors. Both of the paper's models
+// "overpredicted ... by a consistent amount in all cases", which is
+// exactly the bias a per-system multiplicative correction removes.
+type Refiner struct {
+	records []Record
+}
+
+// Add stores one observation. Records with non-positive values are
+// rejected — they would poison the geometric calibration.
+func (r *Refiner) Add(rec Record) error {
+	if rec.Predicted <= 0 || rec.Measured <= 0 {
+		return fmt.Errorf("perfmodel: record for %s/%s has non-positive throughput", rec.System, rec.Workload)
+	}
+	r.records = append(r.records, rec)
+	return nil
+}
+
+// Len returns the number of stored records.
+func (r *Refiner) Len() int { return len(r.records) }
+
+// Records returns a copy of the stored observations.
+func (r *Refiner) Records() []Record {
+	return append([]Record(nil), r.records...)
+}
+
+// Correction returns the multiplicative calibration factor for a system
+// and model at a rank count: the geometric mean of measured/predicted over
+// matching records. The model's bias is regime-dependent (memory-dominated
+// small runs versus latency-dominated large ones), so records at the same
+// rank count are preferred; the fallbacks widen to the system, then the
+// model, then 1 when nothing matches yet (an uncalibrated model is used
+// as-is). ranks <= 0 skips the rank-specific tier.
+func (r *Refiner) Correction(system, model string, ranks int) float64 {
+	filters := []func(Record) bool{
+		func(rec Record) bool { return rec.System == system && rec.Model == model && rec.Ranks == ranks },
+		func(rec Record) bool { return rec.System == system && rec.Model == model },
+		func(rec Record) bool { return rec.Model == model },
+	}
+	if ranks <= 0 {
+		filters = filters[1:]
+	}
+	for _, filter := range filters {
+		var ratios []float64
+		for _, rec := range r.records {
+			if filter(rec) {
+				ratios = append(ratios, rec.Measured/rec.Predicted)
+			}
+		}
+		if len(ratios) > 0 {
+			return fit.GeoMean(ratios)
+		}
+	}
+	return 1
+}
+
+// Refine applies the current calibration to a prediction, returning the
+// corrected copy. Time-like components scale inversely with throughput.
+func (r *Refiner) Refine(p Prediction) Prediction {
+	c := r.Correction(p.System, p.Model, p.Ranks)
+	out := p
+	out.MFLUPS = p.MFLUPS * c
+	if c > 0 {
+		out.SecondsPerStep = p.SecondsPerStep / c
+	}
+	return out
+}
+
+// MAPE reports the mean absolute percentage error of the stored records
+// before and after calibration — the feedback metric that decides whether
+// a model term earns its place (the paper's "system of adding and
+// checking").
+func (r *Refiner) MAPE(system, model string) (before, after float64, n int) {
+	var sumB, sumA float64
+	for _, rec := range r.records {
+		if rec.System != system || rec.Model != model {
+			continue
+		}
+		c := r.Correction(system, model, rec.Ranks)
+		sumB += math.Abs(rec.Predicted-rec.Measured) / rec.Measured
+		sumA += math.Abs(rec.Predicted*c-rec.Measured) / rec.Measured
+		n++
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return sumB / float64(n), sumA / float64(n), n
+}
+
+// Save serializes the record store as JSON.
+func (r *Refiner) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.records)
+}
+
+// Load restores a record store previously written by Save, replacing any
+// current records.
+func (r *Refiner) Load(src io.Reader) error {
+	var recs []Record
+	if err := json.NewDecoder(src).Decode(&recs); err != nil {
+		return fmt.Errorf("perfmodel: loading records: %w", err)
+	}
+	for _, rec := range recs {
+		if rec.Predicted <= 0 || rec.Measured <= 0 {
+			return fmt.Errorf("perfmodel: stored record for %s/%s invalid", rec.System, rec.Workload)
+		}
+	}
+	r.records = recs
+	return nil
+}

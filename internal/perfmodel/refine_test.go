@@ -1,0 +1,152 @@
+package perfmodel
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRefinerCorrectionRemovesConsistentBias(t *testing.T) {
+	// The paper observed consistent overprediction; the refiner must learn
+	// the bias and cancel it.
+	var r Refiner
+	const bias = 1.3 // model predicts 30% high
+	for i, measured := range []float64{40, 55, 70, 90} {
+		err := r.Add(Record{
+			Workload: "aorta", System: "CSP-2", Model: "direct",
+			Ranks: 16 << i, Predicted: measured * bias, Measured: measured,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := r.Correction("CSP-2", "direct", 0)
+	if math.Abs(c-1/bias) > 1e-9 {
+		t.Errorf("correction = %v, want %v", c, 1/bias)
+	}
+	before, after, n := r.MAPE("CSP-2", "direct")
+	if n != 4 {
+		t.Fatalf("MAPE count %d, want 4", n)
+	}
+	if before < 0.29 || before > 0.31 {
+		t.Errorf("MAPE before = %v, want ~0.30", before)
+	}
+	if after > 1e-9 {
+		t.Errorf("MAPE after = %v, want ~0", after)
+	}
+}
+
+func TestRefinerFallbacks(t *testing.T) {
+	var r Refiner
+	if c := r.Correction("CSP-2", "direct", 0); c != 1 {
+		t.Errorf("empty refiner correction = %v, want 1", c)
+	}
+	if err := r.Add(Record{System: "TRC", Model: "direct", Predicted: 100, Measured: 80}); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown system falls back to all records of the model.
+	if c := r.Correction("CSP-1", "direct", 0); math.Abs(c-0.8) > 1e-12 {
+		t.Errorf("fallback correction = %v, want 0.8", c)
+	}
+	// Unknown model falls back to 1.
+	if c := r.Correction("CSP-1", "generalized", 0); c != 1 {
+		t.Errorf("unmatched model correction = %v, want 1", c)
+	}
+}
+
+func TestRefinerRejectsBadRecords(t *testing.T) {
+	var r Refiner
+	if err := r.Add(Record{Predicted: 0, Measured: 10}); err == nil {
+		t.Error("want error for zero prediction")
+	}
+	if err := r.Add(Record{Predicted: 10, Measured: -1}); err == nil {
+		t.Error("want error for negative measurement")
+	}
+	if r.Len() != 0 {
+		t.Error("bad records were stored")
+	}
+}
+
+func TestRefineAppliesCorrection(t *testing.T) {
+	var r Refiner
+	if err := r.Add(Record{System: "TRC", Model: "direct", Predicted: 100, Measured: 50}); err != nil {
+		t.Fatal(err)
+	}
+	p := Prediction{Model: "direct", System: "TRC", MFLUPS: 200, SecondsPerStep: 0.01}
+	out := r.Refine(p)
+	if math.Abs(out.MFLUPS-100) > 1e-9 {
+		t.Errorf("refined MFLUPS = %v, want 100", out.MFLUPS)
+	}
+	if math.Abs(out.SecondsPerStep-0.02) > 1e-12 {
+		t.Errorf("refined SecondsPerStep = %v, want 0.02", out.SecondsPerStep)
+	}
+	// MFLUPS * SecondsPerStep invariant: correction preserves work.
+	if math.Abs(out.MFLUPS*out.SecondsPerStep-p.MFLUPS*p.SecondsPerStep) > 1e-9 {
+		t.Error("correction does not preserve points-per-step")
+	}
+}
+
+func TestRefinerCorrectionScaleInvariance(t *testing.T) {
+	// Correction is a geometric mean of ratios: scaling all predictions by
+	// k scales the correction by 1/k.
+	f := func(seed int64) bool {
+		k := 1 + math.Abs(float64(seed%7))/2
+		var a, b Refiner
+		for i := 1; i <= 5; i++ {
+			m := float64(10 * i)
+			p := m * (1 + 0.1*float64(i))
+			if a.Add(Record{System: "S", Model: "direct", Predicted: p, Measured: m}) != nil {
+				return false
+			}
+			if b.Add(Record{System: "S", Model: "direct", Predicted: p * k, Measured: m}) != nil {
+				return false
+			}
+		}
+		ca, cb := a.Correction("S", "direct", 0), b.Correction("S", "direct", 0)
+		return math.Abs(ca/cb-k) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefinerSaveLoadRoundTrip(t *testing.T) {
+	var r Refiner
+	recs := []Record{
+		{Workload: "aorta", System: "CSP-2", Model: "direct", Ranks: 36, Predicted: 100, Measured: 80},
+		{Workload: "cyl", System: "TRC", Model: "generalized", Ranks: 80, Predicted: 60, Measured: 55},
+	}
+	for _, rec := range recs {
+		if err := r.Add(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var r2 Refiner
+	if err := r2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := r2.Records()
+	if len(got) != len(recs) {
+		t.Fatalf("loaded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestRefinerLoadRejectsCorrupt(t *testing.T) {
+	var r Refiner
+	if err := r.Load(bytes.NewBufferString("not json")); err == nil {
+		t.Error("want error for invalid JSON")
+	}
+	if err := r.Load(bytes.NewBufferString(`[{"predicted_mflups":0,"measured_mflups":5}]`)); err == nil {
+		t.Error("want error for invalid stored record")
+	}
+}

@@ -1,0 +1,104 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/decomp"
+	"repro/internal/lbm"
+	"repro/internal/machine"
+	"repro/internal/simcloud"
+)
+
+func sharedFixture(t *testing.T) (*Characterization, simcloud.Workload, *machine.System) {
+	t.Helper()
+	s := cylinderSolver(t)
+	sys := machine.NewCSP2()
+	c := characterizeNoiseless(t, sys)
+	p, err := decomp.RCB(s, 9, lbm.HarveyAccess()) // quarter of a node
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, simcloud.FromPartition("cyl", s.N(), p), sys
+}
+
+func TestSharedNodeSlowsPrediction(t *testing.T) {
+	c, w, _ := sharedFixture(t)
+	exclusive, err := c.PredictDirectShared(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := c.PredictDirectShared(w, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := c.PredictDirectShared(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(exclusive.MFLUPS > half.MFLUPS && half.MFLUPS > full.MFLUPS) {
+		t.Errorf("occupancy must monotonically slow predictions: %v, %v, %v",
+			exclusive.MFLUPS, half.MFLUPS, full.MFLUPS)
+	}
+	// With 9 of 36 cores and full co-tenancy, our bandwidth share drops
+	// substantially on a saturated node.
+	if full.MFLUPS > 0.7*exclusive.MFLUPS {
+		t.Errorf("full occupancy only cost %v -> %v", exclusive.MFLUPS, full.MFLUPS)
+	}
+}
+
+func TestSharedNodeMatchesSimulatedTruth(t *testing.T) {
+	c, w, sys := sharedFixture(t)
+	for _, occ := range []float64{0, 0.5, 1} {
+		pred, err := c.PredictDirectShared(w, occ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual, err := simcloud.RunOpts(w, sys, 10, nil, simcloud.Options{SharedOccupancy: occ})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio := pred.MFLUPS / actual.MFLUPS; ratio < 0.5 || ratio > 2 {
+			t.Errorf("occupancy %v: prediction %v vs simulated %v", occ, pred.MFLUPS, actual.MFLUPS)
+		}
+	}
+}
+
+func TestSharedValidation(t *testing.T) {
+	c, w, sys := sharedFixture(t)
+	if _, err := c.PredictDirectShared(w, -0.1); err == nil {
+		t.Error("want error for negative occupancy")
+	}
+	if _, err := c.PredictDirectShared(w, 1.1); err == nil {
+		t.Error("want error for occupancy above 1")
+	}
+	if _, err := simcloud.RunOpts(w, sys, 10, nil, simcloud.Options{SharedOccupancy: 2}); err == nil {
+		t.Error("want simcloud error for bad occupancy")
+	}
+}
+
+func TestExclusiveSharedEquivalence(t *testing.T) {
+	// Occupancy 0 must be exactly the node-exclusive prediction and run.
+	c, w, sys := sharedFixture(t)
+	a, err := c.PredictDirect(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.PredictDirectShared(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("PredictDirect != PredictDirectShared(0)")
+	}
+	r1, err := simcloud.Run(w, sys, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := simcloud.RunOpts(w, sys, 10, nil, simcloud.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Seconds != r2.Seconds {
+		t.Error("Run != RunOpts with defaults")
+	}
+}

@@ -1,0 +1,181 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/decomp"
+	"repro/internal/lbm"
+	"repro/internal/machine"
+	"repro/internal/roofline"
+	"repro/internal/simcloud"
+)
+
+// observations generates (workload, measured) pairs on CSP-2 over a rank
+// sweep, the data the feedback loop selects against.
+func observations(t *testing.T, s *lbm.Sparse, sys *machine.System, ranks []int) []Observation {
+	t.Helper()
+	var obs []Observation
+	for _, k := range ranks {
+		p, err := decomp.RCB(s, k, lbm.HarveyAccess())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := simcloud.FromPartition("cyl", s.N(), p)
+		res, err := simcloud.Run(w, sys, 20, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs = append(obs, Observation{Workload: w, Measured: res.MFLUPS})
+	}
+	return obs
+}
+
+func TestSelectTermsKeepsOverheadRejectsFlops(t *testing.T) {
+	// The simulated truth carries a kernel overhead the bare model cannot
+	// see; the FLOP roofline term is negligible for bandwidth-bound LBM.
+	// The paper's add-and-check loop must keep the former and discard the
+	// latter.
+	s := cylinderSolver(t)
+	sys := machine.NewCSP2()
+	c := characterizeNoiseless(t, sys)
+	obs := observations(t, s, sys, []int{4, 9, 18, 36})
+
+	overhead := OverheadTerm(simcloud.KernelOverhead - 1)
+	flops := FlopTerm(
+		roofline.D3Q19BGK(lbm.HarveyAccess().PointBytes(19)),
+		roofline.Machine{PeakGFLOPS: 1500, PeakBandwidthGBps: 104},
+	)
+	res, err := c.SelectTerms([]Term{flops, overhead}, obs, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kept) != 1 || res.Kept[0] != overhead.Name {
+		t.Errorf("kept %v, want only %q", res.Kept, overhead.Name)
+	}
+	if len(res.Rejected) != 1 || res.Rejected[0] != "flops" {
+		t.Errorf("rejected %v, want only flops", res.Rejected)
+	}
+	if res.FinalMAPE >= res.BaseMAPE {
+		t.Errorf("selection did not improve MAPE: %v -> %v", res.BaseMAPE, res.FinalMAPE)
+	}
+	if res.FinalMAPE > 0.10 {
+		t.Errorf("final MAPE %v still above 10%%", res.FinalMAPE)
+	}
+}
+
+func TestSelectTermsRejectsAllWhenNoneHelp(t *testing.T) {
+	s := cylinderSolver(t)
+	sys := machine.NewCSP2()
+	c := characterizeNoiseless(t, sys)
+	obs := observations(t, s, sys, []int{4, 18})
+	// A grossly wrong constant term must not be kept.
+	bogus := ConstantTerm("bogus-barrier", 10 /* seconds per step */)
+	res, err := c.SelectTerms([]Term{bogus}, obs, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kept) != 0 {
+		t.Errorf("kept %v, want nothing", res.Kept)
+	}
+	if res.FinalMAPE != res.BaseMAPE {
+		t.Errorf("MAPE changed without kept terms: %v vs %v", res.FinalMAPE, res.BaseMAPE)
+	}
+}
+
+func TestSelectTermsValidation(t *testing.T) {
+	s := cylinderSolver(t)
+	c := characterizeNoiseless(t, machine.NewCSP2())
+	if _, err := c.SelectTerms(nil, nil, 0.01); err == nil {
+		t.Error("want error for no observations")
+	}
+	obs := observations(t, s, machine.NewCSP2(), []int{4})
+	if _, err := c.SelectTerms(nil, obs, -1); err == nil {
+		t.Error("want error for negative threshold")
+	}
+	bad := []Observation{{Workload: obs[0].Workload, Measured: 0}}
+	if _, err := c.SelectTerms(nil, bad, 0.01); err == nil {
+		t.Error("want error for non-positive measurement")
+	}
+}
+
+func TestPredictWithTerms(t *testing.T) {
+	s := cylinderSolver(t)
+	sys := machine.NewCSP2()
+	c := characterizeNoiseless(t, sys)
+	p, err := decomp.RCB(s, 18, lbm.HarveyAccess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := simcloud.FromPartition("cyl", s.N(), p)
+	base, err := c.PredictDirect(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTerm, err := c.PredictWithTerms(w, []Term{OverheadTerm(0.18)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withTerm.SecondsPerStep <= base.SecondsPerStep {
+		t.Error("added term did not increase predicted time")
+	}
+	if withTerm.MFLUPS >= base.MFLUPS {
+		t.Error("added term did not decrease predicted throughput")
+	}
+	// The term-corrected prediction is closer to the simulated truth.
+	actual, err := simcloud.Run(w, sys, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errBase, errTerm := absRel(base.MFLUPS, actual.MFLUPS), absRel(withTerm.MFLUPS, actual.MFLUPS); errTerm >= errBase {
+		t.Errorf("term did not improve accuracy: %v vs %v", errTerm, errBase)
+	}
+}
+
+func absRel(pred, meas float64) float64 {
+	d := (pred - meas) / meas
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func TestCouplingTermScalesWithBytes(t *testing.T) {
+	s := cylinderSolver(t)
+	sys := machine.NewCSP2()
+	c := characterizeNoiseless(t, sys)
+	p, err := decomp.RCB(s, 18, lbm.HarveyAccess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := simcloud.FromPartition("cyl", s.N(), p)
+	base, err := c.PredictDirect(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := CouplingTerm("cells-1MB", 1e6)
+	big := CouplingTerm("cells-4MB", 4e6)
+	eSmall := small.Eval(w, base)
+	eBig := big.Eval(w, base)
+	if eSmall <= 0 {
+		t.Fatal("coupling term evaluated to zero")
+	}
+	if r := eBig / eSmall; r < 3.99 || r > 4.01 {
+		t.Errorf("coupling term not linear in bytes: ratio %v", r)
+	}
+	// Pricing sanity: coupling bytes equal to the gating task's fluid
+	// bytes (per task) should cost about one base memory time.
+	var maxTask float64
+	for _, task := range w.Tasks {
+		if task.Bytes > maxTask {
+			maxTask = task.Bytes
+		}
+	}
+	equal := CouplingTerm("cells-eq", maxTask*float64(len(w.Tasks)))
+	if e := equal.Eval(w, base); e < base.MemS*0.9 || e > base.MemS*1.1 {
+		t.Errorf("equal-traffic coupling costs %v, want ~%v", e, base.MemS)
+	}
+	// Degenerate inputs return zero rather than exploding.
+	if z := small.Eval(simcloud.Workload{}, base); z != 0 {
+		t.Errorf("empty workload term = %v", z)
+	}
+}

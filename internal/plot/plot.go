@@ -1,0 +1,165 @@
+// Package plot renders data series as ASCII charts for terminal
+// inspection of regenerated figures — strong-scaling curves, STREAM
+// sweeps and model-vs-actual comparisons read at a glance without
+// leaving the shell.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) observation.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one labeled curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Options configures a chart.
+type Options struct {
+	Width  int  // plot area columns (default 64)
+	Height int  // plot area rows (default 16)
+	LogX   bool // logarithmic x axis (rank sweeps, message sizes)
+	LogY   bool // logarithmic y axis
+	Title  string
+	XLabel string
+	YLabel string
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '~', '^'}
+
+// Render draws the series into a text chart. Series beyond the marker
+// alphabet reuse markers cyclically. An empty input yields an error
+// message rather than a panic, keeping CLI pipelines alive.
+func Render(series []Series, opt Options) string {
+	if opt.Width <= 0 {
+		opt.Width = 64
+	}
+	if opt.Height <= 0 {
+		opt.Height = 16
+	}
+	var pts int
+	for _, s := range series {
+		pts += len(s.Points)
+	}
+	if pts == 0 {
+		return "(no data to plot)\n"
+	}
+
+	tx := transform(opt.LogX)
+	ty := transform(opt.LogY)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			x, okx := tx(p.X)
+			y, oky := ty(p.Y)
+			if !okx || !oky {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX > maxX || minY > maxY {
+		return "(no finite data to plot)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for _, p := range s.Points {
+			x, okx := tx(p.X)
+			y, oky := ty(p.Y)
+			if !okx || !oky {
+				continue
+			}
+			col := int((x - minX) / (maxX - minX) * float64(opt.Width-1))
+			row := opt.Height - 1 - int((y-minY)/(maxY-minY)*float64(opt.Height-1))
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	yLo, yHi := untransform(minY, opt.LogY), untransform(maxY, opt.LogY)
+	fmt.Fprintf(&b, "%11.4g ┤%s\n", yHi, string(grid[0]))
+	for r := 1; r < opt.Height-1; r++ {
+		fmt.Fprintf(&b, "%11s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%11.4g ┤%s\n", yLo, string(grid[opt.Height-1]))
+	fmt.Fprintf(&b, "%11s └%s\n", "", strings.Repeat("─", opt.Width))
+	xLo, xHi := untransform(minX, opt.LogX), untransform(maxX, opt.LogX)
+	axis := fmt.Sprintf("%.4g", xLo)
+	right := fmt.Sprintf("%.4g", xHi)
+	pad := opt.Width - len(axis) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%12s%s%s%s", "", axis, strings.Repeat(" ", pad), right)
+	if opt.XLabel != "" {
+		fmt.Fprintf(&b, "  (%s)", opt.XLabel)
+	}
+	b.WriteByte('\n')
+
+	// Legend, sorted by label for stable output.
+	idx := make([]int, len(series))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, c int) bool { return series[idx[a]].Label < series[idx[c]].Label })
+	for _, i := range idx {
+		if len(series[i].Points) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %c %s\n", markers[i%len(markers)], series[i].Label)
+	}
+	if opt.YLabel != "" {
+		fmt.Fprintf(&b, "  y: %s\n", opt.YLabel)
+	}
+	return b.String()
+}
+
+// transform returns the axis mapping (identity or log10) and whether the
+// value is representable on it.
+func transform(logScale bool) func(float64) (float64, bool) {
+	if !logScale {
+		return func(v float64) (float64, bool) {
+			return v, !math.IsNaN(v) && !math.IsInf(v, 0)
+		}
+	}
+	return func(v float64) (float64, bool) {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, false
+		}
+		return math.Log10(v), true
+	}
+}
+
+// untransform inverts the axis mapping for tick labels.
+func untransform(v float64, logScale bool) float64 {
+	if logScale {
+		return math.Pow(10, v)
+	}
+	return v
+}

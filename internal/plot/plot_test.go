@@ -1,0 +1,86 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func linear(label string, slope float64, n int) Series {
+	s := Series{Label: label}
+	for i := 1; i <= n; i++ {
+		s.Points = append(s.Points, Point{X: float64(i), Y: slope * float64(i)})
+	}
+	return s
+}
+
+func TestRenderBasics(t *testing.T) {
+	out := Render([]Series{linear("up", 2, 10)}, Options{Title: "test chart", XLabel: "ranks", YLabel: "MFLUPS"})
+	for _, want := range []string{"test chart", "up", "*", "ranks", "MFLUPS", "└"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The max tick reflects the data range.
+	if !strings.Contains(out, "20") {
+		t.Errorf("y-axis tick for max value missing:\n%s", out)
+	}
+}
+
+func TestRenderMultipleSeriesMarkers(t *testing.T) {
+	out := Render([]Series{linear("a", 1, 5), linear("b", 3, 5)}, Options{})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("distinct markers missing:\n%s", out)
+	}
+	// Legend is sorted.
+	if strings.Index(out, "a\n") > strings.Index(out, "b\n") {
+		t.Error("legend not sorted")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := Render(nil, Options{}); !strings.Contains(out, "no data") {
+		t.Errorf("empty input produced %q", out)
+	}
+	s := Series{Label: "nan", Points: []Point{{X: math.NaN(), Y: 1}}}
+	if out := Render([]Series{s}, Options{}); !strings.Contains(out, "no finite data") {
+		t.Errorf("NaN-only input produced %q", out)
+	}
+}
+
+func TestRenderLogAxes(t *testing.T) {
+	s := Series{Label: "pow"}
+	for _, x := range []float64{1, 10, 100, 1000} {
+		s.Points = append(s.Points, Point{X: x, Y: x * x})
+	}
+	out := Render([]Series{s}, Options{LogX: true, LogY: true, Width: 40, Height: 10})
+	// On log-log axes a power law is a straight line: markers appear in
+	// distinct rows and columns.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "*") {
+			rows++
+		}
+	}
+	if rows < 3 {
+		t.Errorf("log-log power law occupies %d rows, want spread:\n%s", rows, out)
+	}
+	// Nonpositive values are dropped on log axes, not crashed on.
+	bad := Series{Label: "bad", Points: []Point{{X: -1, Y: 5}, {X: 10, Y: 100}}}
+	_ = Render([]Series{bad}, Options{LogX: true})
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	s := Series{Label: "flat", Points: []Point{{X: 1, Y: 5}, {X: 2, Y: 5}}}
+	out := Render([]Series{s}, Options{})
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series not plotted:\n%s", out)
+	}
+}
+
+func TestRenderDimensionDefaults(t *testing.T) {
+	out := Render([]Series{linear("d", 1, 3)}, Options{Width: -5, Height: 0})
+	if len(strings.Split(out, "\n")) < 10 {
+		t.Errorf("default dimensions not applied:\n%s", out)
+	}
+}

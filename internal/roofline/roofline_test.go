@@ -1,0 +1,130 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRidgePoint(t *testing.T) {
+	m := Machine{PeakGFLOPS: 1000, PeakBandwidthGBps: 100}
+	if got := m.RidgePoint(); got != 10 {
+		t.Errorf("RidgePoint = %v, want 10", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Machine{PeakGFLOPS: 1, PeakBandwidthGBps: 1}).Validate(); err != nil {
+		t.Errorf("valid machine rejected: %v", err)
+	}
+	for _, m := range []Machine{{0, 1}, {1, 0}, {-1, 1}} {
+		if err := m.Validate(); err == nil {
+			t.Errorf("invalid machine %+v accepted", m)
+		}
+	}
+}
+
+func TestIntensity(t *testing.T) {
+	k := Kernel{FlopsPerPoint: 250, BytesPerPoint: 500}
+	if got := k.Intensity(); got != 0.5 {
+		t.Errorf("Intensity = %v, want 0.5", got)
+	}
+	free := Kernel{FlopsPerPoint: 10, BytesPerPoint: 0}
+	if !math.IsInf(free.Intensity(), 1) {
+		t.Error("zero-byte kernel should have infinite intensity")
+	}
+}
+
+func TestAnalyzeBandwidthBoundLBM(t *testing.T) {
+	// A Broadwell-class node: LBM must land bandwidth-bound, the paper's
+	// central premise.
+	m := Machine{PeakGFLOPS: 1200, PeakBandwidthGBps: 60}
+	k := D3Q19BGK(456)
+	a, err := Analyze(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bound != BandwidthBound {
+		t.Fatalf("LBM analyzed as %v, want bandwidth-bound", a.Bound)
+	}
+	// Attainable = bw * intensity = 60 GB/s * (250/456 flop/B).
+	want := 60 * 250 / 456.0
+	if math.Abs(a.AttainableGFLOPS-want) > 1e-9 {
+		t.Errorf("attainable %v GFLOP/s, want %v", a.AttainableGFLOPS, want)
+	}
+	// Points/s = bytes-limited rate.
+	wantPPS := 60e9 / 456
+	if math.Abs(a.PointsPerSecond-wantPPS)/wantPPS > 1e-12 {
+		t.Errorf("points/s = %v, want %v", a.PointsPerSecond, wantPPS)
+	}
+	if got := a.SecondsPerNPoints(wantPPS); math.Abs(got-1) > 1e-12 {
+		t.Errorf("SecondsPerNPoints inconsistent: %v", got)
+	}
+}
+
+func TestAnalyzeComputeBound(t *testing.T) {
+	// A dense compute kernel on a bandwidth-rich machine.
+	m := Machine{PeakGFLOPS: 100, PeakBandwidthGBps: 1000}
+	k := Kernel{Name: "dense", FlopsPerPoint: 10000, BytesPerPoint: 8}
+	a, err := Analyze(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bound != ComputeBound {
+		t.Fatalf("dense kernel analyzed as %v", a.Bound)
+	}
+	if a.AttainableGFLOPS != 100 {
+		t.Errorf("attainable %v, want the 100 GFLOP/s ceiling", a.AttainableGFLOPS)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(D3Q19BGK(456), Machine{}); err == nil {
+		t.Error("want error for zero machine")
+	}
+	if _, err := Analyze(Kernel{}, Machine{PeakGFLOPS: 1, PeakBandwidthGBps: 1}); err == nil {
+		t.Error("want error for zero kernel")
+	}
+}
+
+func TestAttainableNeverExceedsCeilings(t *testing.T) {
+	f := func(flops, bytes, peakF, peakB float64) bool {
+		k := Kernel{FlopsPerPoint: 1 + math.Abs(flops), BytesPerPoint: 1 + math.Abs(bytes)}
+		m := Machine{PeakGFLOPS: 1 + math.Abs(peakF), PeakBandwidthGBps: 1 + math.Abs(peakB)}
+		if k.FlopsPerPoint > 1e12 || k.BytesPerPoint > 1e12 || m.PeakGFLOPS > 1e12 || m.PeakBandwidthGBps > 1e12 {
+			return true
+		}
+		a, err := Analyze(k, m)
+		if err != nil {
+			return false
+		}
+		if a.AttainableGFLOPS > m.PeakGFLOPS*(1+1e-12) {
+			return false
+		}
+		// Implied bandwidth use never exceeds the memory ceiling.
+		impliedGBps := a.PointsPerSecond * k.BytesPerPoint / 1e9
+		return impliedGBps <= m.PeakBandwidthGBps*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlopTimeTinyForLBM(t *testing.T) {
+	// The paper drops the FLOP term for CPU LBM; at realistic ceilings the
+	// flop time must be well under the memory time for the same points.
+	m := Machine{PeakGFLOPS: 1200, PeakBandwidthGBps: 60}
+	k := D3Q19BGK(456)
+	const n = 1e6
+	flopT := FlopTimeS(k, m, n)
+	memT := n * k.BytesPerPoint / (m.PeakBandwidthGBps * 1e9)
+	if flopT >= memT/2 {
+		t.Errorf("flop time %v not well below memory time %v", flopT, memT)
+	}
+}
+
+func TestBoundString(t *testing.T) {
+	if BandwidthBound.String() != "bandwidth-bound" || ComputeBound.String() != "compute-bound" {
+		t.Error("bound strings wrong")
+	}
+}

@@ -1,0 +1,206 @@
+package simcloud
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/decomp"
+	"repro/internal/fit"
+	"repro/internal/geometry"
+	"repro/internal/lbm"
+	"repro/internal/machine"
+)
+
+func cylinderWorkload(t *testing.T, ranks int) Workload {
+	t.Helper()
+	dom, err := geometry.Cylinder(40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := lbm.NewSparse(dom, lbm.Params{Tau: 0.9, PeriodicX: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := decomp.RCB(s, ranks, lbm.HarveyAccess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromPartition("cylinder", s.N(), p)
+}
+
+func TestRunValidation(t *testing.T) {
+	sys := machine.NewCSP2()
+	w := cylinderWorkload(t, 4)
+	if _, err := Run(Workload{}, sys, 10, nil); err == nil {
+		t.Error("want error for empty workload")
+	}
+	if _, err := Run(w, sys, 0, nil); err == nil {
+		t.Error("want error for zero steps")
+	}
+	big := cylinderWorkload(t, 200) // CSP-2 has 144 cores
+	if _, err := Run(big, sys, 10, nil); err == nil {
+		t.Error("want error for ranks beyond system cores")
+	}
+}
+
+func TestRunBasicShape(t *testing.T) {
+	sys := machine.NewCSP2()
+	w := cylinderWorkload(t, 36)
+	r, err := Run(w, sys, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StepS <= 0 || r.Seconds <= 0 || r.MFLUPS <= 0 {
+		t.Fatalf("non-positive timings: %+v", r)
+	}
+	if r.NodesUsed != 1 {
+		t.Errorf("36 ranks on CSP-2 should use 1 node, got %d", r.NodesUsed)
+	}
+	if math.Abs(r.Seconds-r.StepS*100) > 1e-12 {
+		t.Errorf("noiseless Seconds %v != StepS*steps %v", r.Seconds, r.StepS*100)
+	}
+	wantMFLUPS := float64(w.Points) * 100 / r.Seconds / 1e6
+	if math.Abs(r.MFLUPS-wantMFLUPS) > 1e-9 {
+		t.Errorf("MFLUPS inconsistent: %v vs %v", r.MFLUPS, wantMFLUPS)
+	}
+	if r.CostUSD <= 0 {
+		t.Error("cost must be positive")
+	}
+	// Gating task must have the largest total.
+	maxT := r.MaxTiming().Total()
+	for _, tt := range r.PerTask {
+		if tt.Total() > maxT+1e-15 {
+			t.Error("Slowest is not the slowest task")
+		}
+	}
+}
+
+func TestSingleNodeHasNoInterNodeComm(t *testing.T) {
+	sys := machine.NewCSP2() // 36 cores/node
+	w := cylinderWorkload(t, 18)
+	r, err := Run(w, sys, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range r.PerTask {
+		if tt.InterS != 0 {
+			t.Errorf("task %d has inter-node time %v on a single node", i, tt.InterS)
+		}
+	}
+}
+
+func TestMultiNodeHasInterNodeComm(t *testing.T) {
+	sys := machine.NewCSP1() // 16 cores/node
+	w := cylinderWorkload(t, 48)
+	r, err := Run(w, sys, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NodesUsed != 3 {
+		t.Fatalf("48 ranks on CSP-1 should use 3 nodes, got %d", r.NodesUsed)
+	}
+	var inter float64
+	for _, tt := range r.PerTask {
+		inter += tt.InterS
+	}
+	if inter == 0 {
+		t.Error("no inter-node communication across 3 nodes")
+	}
+}
+
+func TestECFasterThanNoEC(t *testing.T) {
+	// Same workload, same node shape; the EC interconnect must win when
+	// communication crosses nodes (the paper's interconnect study).
+	w := cylinderWorkload(t, 144)
+	ec, err := Run(w, machine.NewCSP2EC(), 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noEC, err := Run(w, machine.NewCSP2(), 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec.MFLUPS <= noEC.MFLUPS {
+		t.Errorf("EC (%v MFLUPS) not faster than no-EC (%v)", ec.MFLUPS, noEC.MFLUPS)
+	}
+}
+
+func TestStrongScalingShape(t *testing.T) {
+	// MFLUPS must increase from 4 to 36 ranks on a single CSP-2 node
+	// (more cores, more bandwidth) — the rising left side of Figure 3.
+	sys := machine.NewCSP2()
+	r4, err := Run(cylinderWorkload(t, 4), sys, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r36, err := Run(cylinderWorkload(t, 36), sys, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r36.MFLUPS <= r4.MFLUPS {
+		t.Errorf("no strong scaling: %v (36) vs %v (4)", r36.MFLUPS, r4.MFLUPS)
+	}
+}
+
+func TestNoiseStatisticsMatchSystemCV(t *testing.T) {
+	sys := machine.NewCSP2Small()
+	w := cylinderWorkload(t, 16)
+	rng := rand.New(rand.NewSource(11))
+	var samples []float64
+	for i := 0; i < 200; i++ {
+		r, err := Run(w, sys, 10, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, r.MFLUPS)
+	}
+	s := fit.Summarize(samples)
+	// Run noise CV plus bandwidth noise: total CV should be near NoiseCV,
+	// well within a factor of ~2.5.
+	if s.CV < sys.NoiseCV/3 || s.CV > sys.NoiseCV*3 {
+		t.Errorf("measured CV %v far from configured %v", s.CV, sys.NoiseCV)
+	}
+}
+
+func TestDeterministicWithoutRNG(t *testing.T) {
+	sys := machine.NewTRC()
+	w := cylinderWorkload(t, 40)
+	a, err := Run(w, sys, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(w, sys, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seconds != b.Seconds || a.MFLUPS != b.MFLUPS {
+		t.Error("noiseless runs differ")
+	}
+}
+
+func TestFromPartitionPreservesTotals(t *testing.T) {
+	dom, err := geometry.Cylinder(24, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := lbm.NewSparse(dom, lbm.Params{Tau: 0.9, PeriodicX: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := decomp.RCB(s, 8, lbm.HarveyAccess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := FromPartition("c", s.N(), p)
+	if len(w.Tasks) != 8 || w.Points != s.N() {
+		t.Fatalf("workload shape wrong: %d tasks, %d points", len(w.Tasks), w.Points)
+	}
+	var bytes float64
+	for _, task := range w.Tasks {
+		bytes += task.Bytes
+	}
+	if math.Abs(bytes-p.TotalBytes()) > 1e-9 {
+		t.Errorf("bytes not preserved: %v vs %v", bytes, p.TotalBytes())
+	}
+}

@@ -1,0 +1,137 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// coronary is a realistic coronary-artery configuration.
+var coronary = Physical{
+	DiameterM:   3e-3, // 3 mm
+	PeakSpeedMS: 0.3,
+	HeartRateHz: 1.2,
+}
+
+func TestConvertCoronary(t *testing.T) {
+	c, err := Convert(coronary, Lattice{SitesAcross: 40, Tau: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re = U D / nu = 0.3 * 3e-3 / 3.3e-6 ≈ 273.
+	if math.Abs(c.Reynolds-272.7) > 1 {
+		t.Errorf("Re = %v, want ~273", c.Reynolds)
+	}
+	// dx = 75 µm.
+	if math.Abs(c.DxM-7.5e-5) > 1e-9 {
+		t.Errorf("dx = %v, want 75 µm", c.DxM)
+	}
+	// Consistency: physical viscosity reproduced from lattice quantities.
+	nuLat := (0.9 - 0.5) / 3
+	nuPhys := nuLat * c.DxM * c.DxM / c.DtS
+	if math.Abs(nuPhys-BloodKinematicViscosity)/BloodKinematicViscosity > 1e-12 {
+		t.Errorf("viscosity round trip failed: %v", nuPhys)
+	}
+	// Lattice speed consistency.
+	if got := coronary.PeakSpeedMS * c.DtS / c.DxM; math.Abs(got-c.ULattice) > 1e-15 {
+		t.Errorf("lattice speed inconsistent")
+	}
+	// Womersley for a 3 mm vessel at 1.2 Hz: Wo = R sqrt(omega/nu) ≈ 2.3.
+	if c.Womersley < 2 || c.Womersley > 2.6 {
+		t.Errorf("Womersley = %v, want ~2.3", c.Womersley)
+	}
+	if c.StepsPerBeat <= 0 {
+		t.Error("pulsatile config missing steps per beat")
+	}
+	if !strings.Contains(c.String(), "Wo=") {
+		t.Errorf("String() missing Womersley: %s", c.String())
+	}
+}
+
+func TestConvertSteadyHasNoWomersley(t *testing.T) {
+	p := coronary
+	p.HeartRateHz = 0
+	c, err := Convert(p, Lattice{SitesAcross: 40, Tau: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Womersley != 0 || c.StepsPerBeat != 0 {
+		t.Errorf("steady flow grew pulsatile quantities: %+v", c)
+	}
+}
+
+func TestConvertDefaultsToBlood(t *testing.T) {
+	c, err := Convert(Physical{DiameterM: 3e-3, PeakSpeedMS: 0.3}, Lattice{SitesAcross: 40, Tau: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Reynolds-272.7) > 1 {
+		t.Errorf("default viscosity not blood: Re %v", c.Reynolds)
+	}
+}
+
+func TestConvertValidation(t *testing.T) {
+	l := Lattice{SitesAcross: 40, Tau: 0.9}
+	if _, err := Convert(Physical{DiameterM: 0, PeakSpeedMS: 0.3}, l); err == nil {
+		t.Error("want error for zero diameter")
+	}
+	if _, err := Convert(Physical{DiameterM: 3e-3, PeakSpeedMS: 0.3, ViscosityM2: -1}, l); err == nil {
+		t.Error("want error for negative viscosity")
+	}
+	if _, err := Convert(coronary, Lattice{SitesAcross: 2, Tau: 0.9}); err == nil {
+		t.Error("want error for under-resolution")
+	}
+	if _, err := Convert(coronary, Lattice{SitesAcross: 40, Tau: 0.5}); err == nil {
+		t.Error("want error for unstable tau")
+	}
+}
+
+func TestCheckFlagsCompressibility(t *testing.T) {
+	// A coarse lattice at high speed trips the Mach warning.
+	fast := Physical{DiameterM: 25e-3, PeakSpeedMS: 1.5} // aortic jet
+	c, err := Convert(fast, Lattice{SitesAcross: 10, Tau: 1.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warnings := c.Check()
+	joined := strings.Join(warnings, "; ")
+	if c.MachLattice > 0.3 && !strings.Contains(joined, "Mach") {
+		t.Errorf("Mach %v not flagged: %v", c.MachLattice, warnings)
+	}
+	// A well-resolved config is clean.
+	good, err := Convert(coronary, Lattice{SitesAcross: 60, Tau: 0.55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := good.Check(); len(w) != 0 {
+		t.Errorf("clean config flagged: %v", w)
+	}
+}
+
+func TestCheckFlagsCoarseCycle(t *testing.T) {
+	// Tiny vessel + huge dt => few steps per beat.
+	p := Physical{DiameterM: 1e-3, PeakSpeedMS: 0.05, HeartRateHz: 2}
+	c, err := Convert(p, Lattice{SitesAcross: 5, Tau: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.StepsPerBeat < 200 {
+		if !strings.Contains(strings.Join(c.Check(), ";"), "cardiac cycle") {
+			t.Errorf("coarse cycle not flagged: %v steps/beat, %v", c.StepsPerBeat, c.Check())
+		}
+	}
+}
+
+func TestStepsForPhysicalTime(t *testing.T) {
+	c, err := Convert(coronary, Lattice{SitesAcross: 40, Tau: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := c.StepsForPhysicalTime(1.0 / coronary.HeartRateHz)
+	if math.Abs(float64(steps)-c.StepsPerBeat) > 1.5 {
+		t.Errorf("StepsForPhysicalTime(beat) = %d, want ~%v", steps, c.StepsPerBeat)
+	}
+	if (Conversion{}).StepsForPhysicalTime(1) != 0 {
+		t.Error("zero conversion should yield zero steps")
+	}
+}
