@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/decomp"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/geometry"
 	"repro/internal/lbm"
 	"repro/internal/machine"
@@ -203,6 +204,63 @@ func BenchmarkSimulatedRun144Ranks(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFleetSchedule runs a full fleet-scheduled campaign per
+// iteration: a mixed on-demand/spot pool with a live preemption hazard,
+// eight jobs with mixed priorities, workers on real goroutines. The
+// extra metric reports scheduler events per run.
+func BenchmarkFleetSchedule(b *testing.B) {
+	dom, err := geometry.Cylinder(24, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := lbm.NewSparse(dom, lbm.Params{Tau: 0.9, PeriodicX: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := decomp.RCB(s, 8, lbm.HarveyAccess())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := simcloud.FromPartition("bench-cyl", s.N(), p)
+	cfg := fleet.Config{
+		Seed:                  7,
+		BudgetUSD:             1,
+		MaxRetries:            20,
+		PreemptionPerNodeHour: 2e5,
+		Instances: []fleet.InstanceConfig{
+			{System: "CSP-2 Small", Count: 2, Spot: true},
+			{System: "CSP-2 EC", Count: 1},
+			{System: "CSP-1", Count: 1},
+		},
+	}
+	jobs := make([]*fleet.Job, 8)
+	for i := range jobs {
+		jobs[i] = &fleet.Job{
+			Name:     "bench-" + string(rune('a'+i)),
+			Workload: w,
+			Steps:    200 + 50*i,
+			Priority: i % 3,
+		}
+	}
+	var events int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched, err := fleet.NewScheduler(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := sched.Run(jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Completed != len(jobs) {
+			b.Fatalf("completed %d/%d", r.Completed, len(jobs))
+		}
+		events = len(r.Events)
+	}
+	b.ReportMetric(float64(events), "events/run")
 }
 
 // --- Ablation benchmarks ----------------------------------------------

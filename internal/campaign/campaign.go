@@ -51,6 +51,14 @@ type JobConfig struct {
 	Tolerance float64 `json:"tolerance,omitempty"`
 	// Spot requests preemptible capacity for this job.
 	Spot bool `json:"spot,omitempty"`
+
+	// Fleet-backend scheduling contract (ignored by the sequential
+	// runner): queue priority (higher places first), an absolute
+	// simulated-time deadline in seconds (0 = none), and whether spot
+	// pool capacity is off-limits for this job.
+	Priority     int     `json:"priority,omitempty"`
+	DeadlineS    float64 `json:"deadline_s,omitempty"`
+	OnDemandOnly bool    `json:"on_demand_only,omitempty"`
 }
 
 // Config declares a whole campaign.
@@ -61,6 +69,11 @@ type Config struct {
 	Deadline  float64     `json:"deadline_seconds,omitempty"`
 	Retries   int         `json:"retries,omitempty"` // spot preemption retries
 	Jobs      []JobConfig `json:"jobs"`
+
+	// Fleet, when present, selects the concurrent fleet-scheduler
+	// backend (RunFleet) over the sequential runner: jobs are placed
+	// across this pool of simulated instances by priority and deadline.
+	Fleet *FleetConfig `json:"fleet,omitempty"`
 }
 
 // Load parses and validates a campaign configuration.
@@ -130,6 +143,14 @@ func (c *Config) Validate() error {
 		}
 		if j.Tolerance == 0 {
 			j.Tolerance = 0.25
+		}
+		if j.DeadlineS < 0 {
+			return fmt.Errorf("campaign: job %q deadline_s %g negative", j.Name, j.DeadlineS)
+		}
+	}
+	if c.Fleet != nil {
+		if err := c.fleetConfig().Validate(); err != nil {
+			return err
 		}
 	}
 	return nil

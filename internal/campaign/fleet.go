@@ -1,0 +1,167 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+)
+
+// FleetConfig declares the fleet execution backend inside a campaign
+// configuration: the instance pool and the fault-handling policy. When a
+// campaign carries one, RunFleet schedules all jobs concurrently across
+// the pool instead of running them one at a time on one instance.
+type FleetConfig struct {
+	Instances             []fleet.InstanceConfig `json:"instances"`
+	MaxRetries            int                    `json:"max_retries,omitempty"`
+	BackoffBaseS          float64                `json:"backoff_base_s,omitempty"`
+	BackoffMaxS           float64                `json:"backoff_max_s,omitempty"`
+	BackoffJitter         float64                `json:"backoff_jitter,omitempty"`
+	PreemptionPerNodeHour float64                `json:"preemption_per_node_hour,omitempty"`
+}
+
+// fleetConfig assembles the scheduler config from the campaign's budget,
+// seed, and fleet declaration.
+func (c Config) fleetConfig() fleet.Config {
+	f := c.Fleet
+	return fleet.Config{
+		Seed:                  c.Seed,
+		BudgetUSD:             c.BudgetUSD,
+		MaxRetries:            f.MaxRetries,
+		BackoffBaseS:          f.BackoffBaseS,
+		BackoffMaxS:           f.BackoffMaxS,
+		BackoffJitter:         f.BackoffJitter,
+		PreemptionPerNodeHour: f.PreemptionPerNodeHour,
+		Instances:             f.Instances,
+	}
+}
+
+// FleetSummary reports a fleet-scheduled campaign.
+type FleetSummary struct {
+	Report   *fleet.Report
+	Warnings []string // units-check findings, prefixed with the job name
+}
+
+// Render formats the full fleet report: event log, per-instance
+// utilization, and the per-job cost/deadline table.
+func (s FleetSummary) Render() string {
+	var b strings.Builder
+	b.WriteString("=== event log ===\n")
+	b.WriteString(s.Report.RenderEvents())
+	b.WriteString("\n=== instance utilization ===\n")
+	b.WriteString(s.Report.RenderUtilization())
+	b.WriteString("\n=== jobs ===\n")
+	b.WriteString(s.Report.RenderJobs())
+	for _, w := range s.Warnings {
+		fmt.Fprintf(&b, "warning: %s\n", w)
+	}
+	return b.String()
+}
+
+// RunFleet executes the campaign on the fleet backend: every job is
+// prepared through the Figure 1 loop (anatomy, tuned model, per-system
+// predictions), then the whole queue is scheduled concurrently across
+// the declared instance pool. Completed jobs export telemetry into the
+// framework's monitor and feed the refinement store.
+func RunFleet(fw *core.Framework, cfg Config) (FleetSummary, error) {
+	if cfg.Fleet == nil {
+		return FleetSummary{}, fmt.Errorf("campaign: no fleet declared in config")
+	}
+	if err := cfg.Validate(); err != nil {
+		return FleetSummary{}, err
+	}
+	fcfg := cfg.fleetConfig()
+	sched, err := fleet.NewScheduler(fcfg)
+	if err != nil {
+		return FleetSummary{}, err
+	}
+
+	// The distinct pool systems, in declaration order, for per-system
+	// model predictions.
+	var poolSystems []string
+	seen := map[string]bool{}
+	for _, ic := range fcfg.Instances {
+		if !seen[ic.System] {
+			seen[ic.System] = true
+			poolSystems = append(poolSystems, ic.System)
+		}
+	}
+
+	var summary FleetSummary
+	jobs := make([]*fleet.Job, 0, len(cfg.Jobs))
+	for _, j := range cfg.Jobs {
+		scale, steps, params, warnings, err := resolve(j)
+		if err != nil {
+			return FleetSummary{}, err
+		}
+		for _, w := range warnings {
+			summary.Warnings = append(summary.Warnings, j.Name+": "+w)
+		}
+		dom, err := buildGeometry(j.Geometry, scale)
+		if err != nil {
+			return FleetSummary{}, err
+		}
+		anatomy, err := fw.PrepareAnatomy(j.Name, dom, params)
+		if err != nil {
+			return FleetSummary{}, fmt.Errorf("campaign: preparing %q: %w", j.Name, err)
+		}
+		w, err := fw.Workload(anatomy, j.Ranks)
+		if err != nil {
+			return FleetSummary{}, fmt.Errorf("campaign: decomposing %q: %w", j.Name, err)
+		}
+
+		fj := &fleet.Job{
+			Name:         j.Name,
+			Workload:     w,
+			Steps:        steps,
+			Priority:     j.Priority,
+			DeadlineS:    j.DeadlineS,
+			Tolerance:    j.Tolerance,
+			OnDemandOnly: j.OnDemandOnly,
+			PerStep:      map[string]float64{},
+			PredMFLUPS:   map[string]float64{},
+		}
+		if j.System != "" {
+			if !seen[j.System] {
+				return FleetSummary{}, fmt.Errorf(
+					"campaign: job %q pins system %q, which the fleet pool does not offer", j.Name, j.System)
+			}
+			fj.Systems = []string{j.System}
+		}
+		// Model-driven placement: the paper's per-anatomy predictions
+		// priced on every pool system the job fits on.
+		for _, abbrev := range poolSystems {
+			sys, err := fw.Provider.System(abbrev)
+			if err != nil {
+				continue // pool system outside this framework's catalog
+			}
+			if j.Ranks > sys.MaxRanks() {
+				continue
+			}
+			pred, err := fw.PredictDirect(anatomy, abbrev, j.Ranks)
+			if err != nil {
+				return FleetSummary{}, fmt.Errorf("campaign: predicting %q on %s: %w", j.Name, abbrev, err)
+			}
+			fj.PerStep[abbrev] = pred.SecondsPerStep
+			fj.PredMFLUPS[abbrev] = pred.MFLUPS
+		}
+		jobs = append(jobs, fj)
+	}
+
+	report, err := sched.Run(jobs)
+	if err != nil {
+		return FleetSummary{}, err
+	}
+	summary.Report = report
+
+	// Close the loop: completed jobs become telemetry samples, and every
+	// prediction-bearing sample becomes a refinement record.
+	if err := report.ExportMonitor(&fw.Monitor); err != nil {
+		return summary, err
+	}
+	if err := fw.Monitor.FeedRefiner(&fw.Refiner); err != nil {
+		return summary, err
+	}
+	return summary, nil
+}

@@ -1,0 +1,125 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/machine"
+)
+
+const fleetConfigJSON = `{
+  "seed": 11,
+  "budget_usd": 1.0,
+  "objective": "min-cost",
+  "fleet": {
+    "instances": [
+      {"system": "CSP-2 Small", "count": 1, "spot": true},
+      {"system": "CSP-2 Small", "count": 1},
+      {"system": "CSP-1", "count": 1}
+    ],
+    "max_retries": 10,
+    "preemption_per_node_hour": 2e5
+  },
+  "jobs": [
+    {"name": "fleet-a", "geometry": "cylinder", "scale": 6, "ranks": 16, "steps": 300, "priority": 2},
+    {"name": "fleet-b", "geometry": "cylinder", "scale": 6, "ranks": 8, "steps": 250, "priority": 1},
+    {"name": "fleet-c", "geometry": "cylinder", "scale": 5, "ranks": 8, "steps": 200,
+     "on_demand_only": true},
+    {"name": "fleet-d", "geometry": "cylinder", "scale": 5, "ranks": 8, "steps": 200}
+  ]
+}`
+
+func runFleetOnce(t *testing.T) (*core.Framework, FleetSummary) {
+	t.Helper()
+	cfg, err := Load(strings.NewReader(fleetConfigJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := core.NewFramework(machine.Catalog(), 2, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := RunFleet(fw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw, sum
+}
+
+func TestRunFleetEndToEnd(t *testing.T) {
+	fw, sum := runFleetOnce(t)
+	r := sum.Report
+	if r.Completed != 4 || r.Shed != 0 {
+		t.Fatalf("completed %d, shed %d; jobs:\n%s", r.Completed, r.Shed, r.RenderJobs())
+	}
+	if r.SpentUSD <= 0 || r.SpentUSD > r.BudgetUSD {
+		t.Errorf("spend $%v implausible for budget $%v", r.SpentUSD, r.BudgetUSD)
+	}
+	for _, j := range r.Jobs {
+		if j.StepsDone != j.Steps {
+			t.Errorf("job %s incomplete: %d/%d", j.Name, j.StepsDone, j.Steps)
+		}
+		if j.MFLUPS <= 0 || j.PredMFLUPS <= 0 {
+			t.Errorf("job %s missing measured/predicted throughput: %+v", j.Name, j)
+		}
+	}
+	// Completed jobs became telemetry and fed the refinement store.
+	if got := len(fw.Monitor.Records()); got != 4 {
+		t.Errorf("monitor has %d samples, want 4", got)
+	}
+	if fw.Refiner.Len() != 4 {
+		t.Errorf("refiner has %d records, want 4", fw.Refiner.Len())
+	}
+	text := sum.Render()
+	for _, want := range []string{"event log", "instance utilization", "jobs", "fleet-a", "submitted", "completed"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+// TestRunFleetDeterministic runs the whole pipeline twice from scratch:
+// framework characterization, predictions, and the concurrent schedule
+// must reproduce byte-for-byte under one seed.
+func TestRunFleetDeterministic(t *testing.T) {
+	_, s1 := runFleetOnce(t)
+	_, s2 := runFleetOnce(t)
+	if s1.Render() != s2.Render() {
+		t.Errorf("same-seed fleet campaigns differ:\n--- run 1 ---\n%s--- run 2 ---\n%s",
+			s1.Render(), s2.Render())
+	}
+}
+
+func TestRunFleetRejectsPinOutsidePool(t *testing.T) {
+	cfg := Config{
+		Seed: 1, BudgetUSD: 1, Objective: "min-cost",
+		Fleet: &FleetConfig{Instances: []fleet.InstanceConfig{{System: "CSP-2 Small", Count: 1}}},
+		Jobs: []JobConfig{{
+			Name: "pinned", Geometry: "cylinder", Scale: 5, Ranks: 8, Steps: 100,
+			System: "TRC",
+		}},
+	}
+	fw, err := core.NewFramework(machine.Catalog(), 2, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFleet(fw, cfg); err == nil || !strings.Contains(err.Error(), "pool") {
+		t.Fatalf("pin outside pool accepted: %v", err)
+	}
+}
+
+func TestRunFleetRequiresFleetBlock(t *testing.T) {
+	cfg := Config{
+		Seed: 1, BudgetUSD: 1, Objective: "min-cost",
+		Jobs: []JobConfig{{Name: "a", Geometry: "cylinder", Scale: 5, Ranks: 8, Steps: 100}},
+	}
+	fw, err := core.NewFramework(machine.Catalog(), 2, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFleet(fw, cfg); err == nil {
+		t.Fatal("fleet backend ran without a fleet declaration")
+	}
+}

@@ -8,6 +8,7 @@
 package cloud
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -16,6 +17,11 @@ import (
 	"repro/internal/machine"
 	"repro/internal/simcloud"
 )
+
+// ErrBudgetExhausted reports that a campaign ran out of budget while a
+// preempted job still had steps to resume. The partial, aggregated result
+// up to that point is still returned alongside it.
+var ErrBudgetExhausted = errors.New("cloud: campaign budget exhausted")
 
 // Provider is a simulated CSP offering the systems of a catalog.
 type Provider struct {
@@ -278,6 +284,13 @@ func (c *Campaign) Run(specs []JobSpec) error {
 			continue
 		}
 		res, err := c.runWithRetries(spec)
+		if errors.Is(err, ErrBudgetExhausted) {
+			// The job's completed attempts are real, billed work: keep the
+			// partial result. Subsequent specs are skipped by the remaining-
+			// budget check above.
+			c.Results = append(c.Results, res)
+			continue
+		}
 		if err != nil {
 			return fmt.Errorf("cloud: campaign job %q: %w", spec.Workload.Name, err)
 		}
@@ -286,28 +299,52 @@ func (c *Campaign) Run(specs []JobSpec) error {
 	return nil
 }
 
+// resumeSpec derives the checkpoint/restart spec for the steps a preempted
+// attempt left unfinished. The time guard is rescaled from the *previous*
+// attempt's spec at its per-step rate, so chained resumes keep the original
+// prediction's seconds-per-step exactly instead of compounding a scale
+// factor across attempts.
+func resumeSpec(prev JobSpec, stepsDone int) JobSpec {
+	resume := prev
+	resume.Steps = prev.Steps - stepsDone
+	if resume.PredictedSeconds > 0 {
+		perStep := prev.PredictedSeconds / float64(prev.Steps)
+		resume.PredictedSeconds = perStep * float64(resume.Steps)
+	}
+	return resume
+}
+
 // runWithRetries executes one job, resuming spot preemptions from the
 // completed step count (checkpoint/restart) up to MaxRetries times. The
 // returned result aggregates steps, wall time and cost across attempts.
+// Before each resume the remaining campaign budget is re-checked: when it
+// is gone the partial result is returned with ErrBudgetExhausted, and the
+// resume's cost guard is clamped so one attempt cannot overspend what is
+// left.
 func (c *Campaign) runWithRetries(spec JobSpec) (JobResult, error) {
 	total, err := c.Provider.RunJob(spec)
 	if err != nil {
 		return JobResult{}, err
 	}
+	prev, prevDone := spec, total.StepsDone
 	for retry := 0; total.Preempted && retry < c.MaxRetries; retry++ {
-		remaining := spec.Steps - total.StepsDone
-		if remaining <= 0 {
+		if spec.Steps <= total.StepsDone {
 			break
 		}
-		resume := spec
-		resume.Steps = remaining
-		if resume.PredictedSeconds > 0 {
-			resume.PredictedSeconds *= float64(remaining) / float64(spec.Steps)
+		remaining := c.BudgetUSD - c.Provider.TotalSpend()
+		if remaining <= 0 {
+			return total, fmt.Errorf("resuming %q after %d/%d steps: %w",
+				spec.Workload.Name, total.StepsDone, spec.Steps, ErrBudgetExhausted)
+		}
+		resume := resumeSpec(prev, prevDone)
+		if resume.MaxUSD <= 0 || resume.MaxUSD > remaining {
+			resume.MaxUSD = remaining
 		}
 		next, err := c.Provider.RunJob(resume)
 		if err != nil {
 			return JobResult{}, err
 		}
+		prev, prevDone = resume, next.StepsDone
 		total.StepsDone += next.StepsDone
 		total.WallSeconds += next.WallSeconds
 		total.ProvisionSec += next.ProvisionSec

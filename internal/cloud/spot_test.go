@@ -1,9 +1,63 @@
 package cloud
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"testing"
+
+	"repro/internal/machine"
 )
+
+// TestRetryAggregationConserves is a property-style check over many
+// seeds: however many forced preemptions a job suffers, the aggregated
+// result must conserve steps, wall-clock compute time, and dollars
+// against the provider's ledger — no work lost, none double-counted.
+func TestRetryAggregationConserves(t *testing.T) {
+	w := testWorkload(t, 16)
+	for seed := int64(1); seed <= 20; seed++ {
+		p := NewProvider(machine.Catalog(), seed)
+		p.PreemptionPerNodeHour = 2e5 // preempts often, completes eventually
+		c := Campaign{Provider: p, BudgetUSD: 100, MaxRetries: 100}
+		if err := c.Run([]JobSpec{{Workload: w, System: "CSP-2 Small", Steps: 400, Spot: true}}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res := c.Results[0]
+
+		var ledgerUSD, ledgerSeconds float64
+		var ledgerSteps, totalSteps int
+		for _, e := range p.Ledger() {
+			ledgerUSD += e.USD
+			ledgerSeconds += e.Seconds
+			var done, of int
+			if _, err := fmt.Sscanf(e.Description, "job %q: %d/%d steps", new(string), &done, &of); err != nil {
+				t.Fatalf("seed %d: unparseable ledger description %q: %v", seed, e.Description, err)
+			}
+			ledgerSteps += done
+			totalSteps += of
+		}
+		if res.StepsDone != ledgerSteps {
+			t.Errorf("seed %d: aggregated %d steps, ledger bills %d", seed, res.StepsDone, ledgerSteps)
+		}
+		if math.Abs(res.USD-ledgerUSD) > 1e-9 {
+			t.Errorf("seed %d: aggregated $%v, ledger bills $%v", seed, res.USD, ledgerUSD)
+		}
+		if math.Abs(res.Result.Seconds-ledgerSeconds) > 1e-9 {
+			t.Errorf("seed %d: aggregated %vs compute, ledger bills %vs", seed, res.Result.Seconds, ledgerSeconds)
+		}
+		if res.StepsDone > 400 {
+			t.Errorf("seed %d: job overshot its step count: %d", seed, res.StepsDone)
+		}
+		if !res.Preempted && res.StepsDone != 400 {
+			t.Errorf("seed %d: unpreempted final state with %d/400 steps", seed, res.StepsDone)
+		}
+		// Attempts bill disjoint work: the sum of per-attempt step targets
+		// must never exceed the original plus the re-billed remainders.
+		if attempts := len(p.Ledger()); attempts > 1 && totalSteps <= 400 {
+			t.Errorf("seed %d: %d attempts but targets sum to %d", seed, attempts, totalSteps)
+		}
+	}
+}
 
 func TestSpotDiscountApplied(t *testing.T) {
 	// With the hazard disabled, a spot job completes and is billed at the
@@ -99,6 +153,84 @@ func TestCampaignRetryRespectsMax(t *testing.T) {
 	// 1 initial + 3 retries = 4 billing entries.
 	if got := len(p.Ledger()); got != 4 {
 		t.Errorf("ledger has %d entries, want 4", got)
+	}
+}
+
+// TestResumeSpecNoCompounding locks the per-step rate invariant: chained
+// resumes must rescale the time guard from the previous attempt's spec at
+// the original seconds-per-step rate, never compounding a scale factor.
+func TestResumeSpecNoCompounding(t *testing.T) {
+	spec := JobSpec{Steps: 1000, PredictedSeconds: 500, Tolerance: 0.1}
+	perStep := spec.PredictedSeconds / float64(spec.Steps)
+
+	// First preemption after 300 steps, second after another 250.
+	r1 := resumeSpec(spec, 300)
+	if r1.Steps != 700 {
+		t.Fatalf("first resume steps = %d, want 700", r1.Steps)
+	}
+	if math.Abs(r1.PredictedSeconds-perStep*700) > 1e-12 {
+		t.Errorf("first resume predicted %v, want %v", r1.PredictedSeconds, perStep*700)
+	}
+	r2 := resumeSpec(r1, 250)
+	if r2.Steps != 450 {
+		t.Fatalf("second resume steps = %d, want 450", r2.Steps)
+	}
+	if math.Abs(r2.PredictedSeconds-perStep*450) > 1e-12 {
+		t.Errorf("second resume predicted %v, want %v (per-step rate compounded)",
+			r2.PredictedSeconds, perStep*450)
+	}
+	// A job with no prediction stays unguarded across resumes.
+	bare := resumeSpec(JobSpec{Steps: 100}, 40)
+	if bare.PredictedSeconds != 0 {
+		t.Errorf("unguarded resume grew a prediction: %v", bare.PredictedSeconds)
+	}
+}
+
+// TestRetryBudgetEnforced forces preemptions against a budget that cannot
+// cover the full retry sequence: the campaign must stop resuming once the
+// budget is gone, keep the partial result, and never overspend by more
+// than one metered slice past the cap.
+func TestRetryBudgetEnforced(t *testing.T) {
+	w := testWorkload(t, 16)
+	probe := newProvider()
+	ref, err := probe.RunJob(JobSpec{Workload: w, System: "CSP-2 Small", Steps: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := newProvider()
+	p.PreemptionPerNodeHour = 1e8 // every attempt is preempted
+	budget := ref.USD * SpotDiscount / 2
+	c := Campaign{Provider: p, BudgetUSD: budget, MaxRetries: 1000}
+	if err := c.Run([]JobSpec{{Workload: w, System: "CSP-2 Small", Steps: 400, Spot: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Results) != 1 {
+		t.Fatalf("partial result dropped: %d results", len(c.Results))
+	}
+	// A started attempt may overshoot the budget by at most one slice of
+	// one attempt; with 1000 retries allowed, unchecked resumes would
+	// spend many multiples of the budget.
+	if p.TotalSpend() > budget+ref.USD {
+		t.Errorf("spend $%v blew past budget $%v", p.TotalSpend(), budget)
+	}
+	if got := len(p.Ledger()); got >= 1000 {
+		t.Errorf("budget did not stop the retry sequence: %d attempts", got)
+	}
+}
+
+// TestRunWithRetriesSurfacesBudgetError exercises the typed error directly.
+func TestRunWithRetriesSurfacesBudgetError(t *testing.T) {
+	w := testWorkload(t, 16)
+	p := newProvider()
+	p.PreemptionPerNodeHour = 1e8
+	c := Campaign{Provider: p, BudgetUSD: 1e-9, MaxRetries: 10}
+	res, err := c.runWithRetries(JobSpec{Workload: w, System: "CSP-2 Small", Steps: 400, Spot: true})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if res.StepsDone <= 0 {
+		t.Error("partial result lost with the budget error")
 	}
 }
 

@@ -1,0 +1,48 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EventType labels one scheduler transition.
+type EventType string
+
+// The scheduler's event vocabulary.
+const (
+	EvSubmitted EventType = "submitted"
+	EvPlaced    EventType = "placed"
+	EvDeferred  EventType = "deferred" // budget governor: wait for reservations to settle
+	EvPreempted EventType = "preempted"
+	EvRequeued  EventType = "requeued"
+	EvCompleted EventType = "completed"
+	EvShed      EventType = "shed" // dropped: budget, retry cap, guard trip, or no instance
+)
+
+// Event is one structured, simulated-time-stamped log record.
+type Event struct {
+	T        float64   `json:"t"`   // simulated seconds
+	Seq      int       `json:"seq"` // total order, stable under equal timestamps
+	Type     EventType `json:"type"`
+	Job      string    `json:"job"`
+	Instance string    `json:"instance,omitempty"`
+	Detail   string    `json:"detail,omitempty"`
+}
+
+// String renders the event as one fixed-width log line. The format is
+// fully determined by simulated quantities, which is what makes same-seed
+// event logs byte-identical.
+func (e Event) String() string {
+	return fmt.Sprintf("t=%12.2f  #%03d  %-9s  %-22s  %-16s  %s",
+		e.T, e.Seq, e.Type, e.Job, e.Instance, e.Detail)
+}
+
+// RenderEvents formats the whole log.
+func RenderEvents(events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package fleet
+
+// decision is the budget governor's verdict on one placement.
+type decision int
+
+const (
+	// decideAdmit: the predicted cost fits in the uncommitted budget.
+	decideAdmit decision = iota
+	// decideDefer: it does not fit now, but running jobs hold
+	// reservations that may settle below their estimates — wait.
+	decideDefer
+	// decideShed: it can never fit; spend only grows, so if the estimate
+	// exceeds budget minus spend today it exceeds it forever.
+	decideShed
+)
+
+// governor tracks campaign spend against the budget. Placements commit a
+// reservation at their predicted cost; completions settle the reservation
+// against the metered bill. Admission is judged against the uncommitted
+// remainder, so concurrent placements cannot jointly overcommit the
+// budget by more than the model's prediction error.
+type governor struct {
+	budget    float64 // 0 = unlimited
+	spent     float64
+	committed float64
+}
+
+// free returns the budget not yet spent or reserved.
+func (g *governor) free() float64 { return g.budget - g.spent - g.committed }
+
+// decide judges a placement with the given predicted cost.
+func (g *governor) decide(est float64) decision {
+	if g.budget <= 0 {
+		return decideAdmit
+	}
+	if est <= g.free() {
+		return decideAdmit
+	}
+	if g.spent+est > g.budget {
+		return decideShed
+	}
+	return decideDefer
+}
+
+// exhausted reports whether the metered spend has consumed the budget.
+func (g *governor) exhausted() bool { return g.budget > 0 && g.spent >= g.budget }
+
+// commit reserves a placement's predicted cost.
+func (g *governor) commit(est float64) { g.committed += est }
+
+// settle releases a reservation and books the metered bill.
+func (g *governor) settle(est, actual float64) {
+	g.committed -= est
+	g.spent += actual
+}

@@ -1,0 +1,465 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cloud"
+	"repro/internal/machine"
+	"repro/internal/simcloud"
+)
+
+// Predictor estimates a workload's seconds-per-step on a system. The
+// scheduler consults it for pool systems a job carries no model
+// prediction for.
+type Predictor func(w simcloud.Workload, sys *machine.System) (float64, error)
+
+// NoiselessPredict is the default predictor: one noiseless simulated
+// timestep — the testbed's stand-in for a calibrated performance model.
+func NoiselessPredict(w simcloud.Workload, sys *machine.System) (float64, error) {
+	r, err := simcloud.Run(w, sys, 1, nil)
+	if err != nil {
+		return 0, err
+	}
+	return r.StepS, nil
+}
+
+// Scheduler runs job queues over the instance pool. Create one with
+// NewScheduler; a Scheduler is single-use (Run consumes it).
+type Scheduler struct {
+	// Predict supplies seconds-per-step estimates for placement; defaults
+	// to NoiselessPredict. Replace it to wire in perfmodel predictions.
+	Predict Predictor
+
+	cfg   Config
+	insts []*instance
+	gov   governor
+	rng   *rand.Rand // event-loop RNG: backoff jitter only
+
+	clock  float64
+	events []Event
+	eseq   int
+
+	queue      jobQueue
+	parked     []*jobState
+	states     []*jobState
+	unfinished int
+
+	predCache map[string]float64
+}
+
+// NewScheduler validates the config and builds the instance pool.
+func NewScheduler(cfg Config) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	insts, err := buildInstances(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Scheduler{
+		Predict:   NoiselessPredict,
+		cfg:       cfg,
+		insts:     insts,
+		gov:       governor{budget: cfg.BudgetUSD},
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		predCache: make(map[string]float64),
+	}, nil
+}
+
+// log appends one event at the current simulated time.
+func (s *Scheduler) log(t EventType, job, inst, detail string) {
+	s.events = append(s.events, Event{
+		T: s.clock, Seq: s.eseq, Type: t, Job: job, Instance: inst, Detail: detail,
+	})
+	s.eseq++
+}
+
+// perStepFor returns the predicted seconds-per-step for a job on a
+// system: the job's own model prediction when present, otherwise the
+// scheduler's Predictor (cached per job/system pair).
+func (s *Scheduler) perStepFor(j *jobState, sys *machine.System) float64 {
+	if v, ok := j.PerStep[sys.Abbrev]; ok && v > 0 {
+		return v
+	}
+	key := j.Name + "\x00" + sys.Abbrev
+	if v, ok := s.predCache[key]; ok {
+		return v
+	}
+	v := 0.0
+	if s.Predict != nil {
+		if p, err := s.Predict(j.Workload, sys); err == nil {
+			v = p
+		}
+	}
+	s.predCache[key] = v
+	return v
+}
+
+// estimate is the model's view of one candidate placement.
+type estimate struct {
+	perStep  float64
+	seconds  float64 // predicted compute time for the remaining steps
+	finishAt float64 // predicted completion in simulated time
+	usd      float64 // predicted metered cost at the instance's rate
+	feasible bool    // meets the job's deadline (vacuously true without one)
+}
+
+// estimateOn prices the job's remaining steps on an instance.
+func (s *Scheduler) estimateOn(j *jobState, inst *instance) estimate {
+	e := estimate{perStep: s.perStepFor(j, inst.sys)}
+	e.seconds = e.perStep * float64(j.remaining())
+	e.finishAt = s.clock + inst.sys.ProvisionDelayS + e.seconds
+	rate := 1.0
+	if inst.spot {
+		rate = cloud.SpotDiscount
+	}
+	if e.seconds > 0 {
+		e.usd = inst.sys.JobCost(j.ranks, e.seconds) * rate
+	}
+	e.feasible = j.DeadlineS <= 0 || e.finishAt <= j.DeadlineS
+	return e
+}
+
+// compatible reports whether the job may ever run on the instance.
+func (j *jobState) compatible(inst *instance) bool {
+	if j.ranks > inst.sys.MaxRanks() {
+		return false
+	}
+	if j.OnDemandOnly && inst.spot {
+		return false
+	}
+	if len(j.Systems) == 0 {
+		return true
+	}
+	for _, want := range j.Systems {
+		if want == inst.sys.Abbrev {
+			return true
+		}
+	}
+	return false
+}
+
+// choose picks the placement for a job: the cheapest idle instance whose
+// predicted completion meets the deadline, falling back to the earliest
+// predicted finish when no idle instance can. Ties break on instance
+// index, keeping placement deterministic.
+func (s *Scheduler) choose(j *jobState) (*instance, estimate, bool) {
+	var best *instance
+	var bestE estimate
+	better := func(e estimate, inst *instance) bool {
+		if best == nil {
+			return true
+		}
+		if e.feasible != bestE.feasible {
+			return e.feasible
+		}
+		if e.feasible {
+			if e.usd != bestE.usd {
+				return e.usd < bestE.usd
+			}
+		}
+		if e.finishAt != bestE.finishAt {
+			return e.finishAt < bestE.finishAt
+		}
+		return false
+	}
+	for _, inst := range s.insts {
+		if inst.busy || !j.compatible(inst) {
+			continue
+		}
+		e := s.estimateOn(j, inst)
+		if better(e, inst) {
+			best, bestE = inst, e
+		}
+	}
+	return best, bestE, best != nil
+}
+
+// attemptCap bounds one attempt's metered cost: the uncommitted budget
+// (plus this job's own reservation), the job's lifetime cap, and the
+// predicted-cost overrun guard, whichever is tightest.
+func (s *Scheduler) attemptCap(j *jobState, e estimate) float64 {
+	cap := 0.0
+	tighten := func(c float64) {
+		if c > 0 && (cap <= 0 || c < cap) {
+			cap = c
+		}
+	}
+	if s.gov.budget > 0 {
+		tighten(s.gov.free() + e.usd)
+	}
+	if j.MaxUSD > 0 {
+		tighten(j.MaxUSD - j.usd)
+	}
+	if e.usd > 0 {
+		tighten(e.usd * (1 + j.Tolerance) * 1.05)
+	}
+	return cap
+}
+
+// pendingPlacement records one dispatched assignment awaiting its
+// outcome.
+type pendingPlacement struct {
+	inst  *instance
+	job   *jobState
+	est   estimate
+	start float64
+	reply chan attempt
+}
+
+// placeRound places queued, eligible jobs on idle instances at the
+// current clock — in queue order (priority, deadline, submission) — and
+// dispatches each to its instance's worker. All placements of a round
+// execute concurrently on real goroutines.
+func (s *Scheduler) placeRound() []pendingPlacement {
+	var round []pendingPlacement
+	var skipped []*jobState
+	for s.queue.Len() > 0 {
+		j := s.queue.pop()
+		inst, est, ok := s.choose(j)
+		if !ok {
+			skipped = append(skipped, j)
+			continue
+		}
+		switch s.gov.decide(est.usd) {
+		case decideShed:
+			s.shed(j, fmt.Sprintf("predicted cost $%.4f exceeds remaining budget $%.4f",
+				est.usd, math.Max(0, s.gov.budget-s.gov.spent)))
+		case decideDefer:
+			if !j.deferred {
+				s.log(EvDeferred, j.Name, "",
+					fmt.Sprintf("predicted cost $%.4f awaits $%.4f in reservations",
+						est.usd, s.gov.committed))
+				j.deferred = true
+			}
+			skipped = append(skipped, j)
+		case decideAdmit:
+			round = append(round, s.place(j, inst, est))
+		}
+	}
+	for _, j := range skipped {
+		s.queue.push(j)
+	}
+	return round
+}
+
+// place commits the governor reservation, logs the event, and hands the
+// attempt to the instance's worker.
+func (s *Scheduler) place(j *jobState, inst *instance, est estimate) pendingPlacement {
+	j.attempts++
+	j.system = inst.sys.Abbrev
+	j.deferred = false
+	if j.firstStart < 0 {
+		j.firstStart = s.clock
+	}
+	s.gov.commit(est.usd)
+	inst.busy = true
+	inst.jobs++
+	s.log(EvPlaced, j.Name, inst.id,
+		fmt.Sprintf("attempt %d, %d steps, est %.1fs $%.4f", j.attempts, j.remaining(), est.seconds, est.usd))
+
+	rec := pendingPlacement{inst: inst, job: j, est: est, start: s.clock,
+		reply: make(chan attempt, 1)}
+	hazard := 0.0
+	if inst.spot {
+		hazard = s.cfg.PreemptionPerNodeHour
+	}
+	inst.cmd <- assignment{
+		job:        j.Job,
+		startSteps: j.done,
+		perStepS:   est.perStep,
+		tolerance:  j.Tolerance,
+		costCapUSD: s.attemptCap(j, est),
+		hazard:     hazard,
+		reply:      rec.reply,
+	}
+	return rec
+}
+
+// shed finalizes a job without completing it.
+func (s *Scheduler) shed(j *jobState, reason string) {
+	j.finished = true
+	j.shed = true
+	j.reason = reason
+	j.finishedAt = s.clock
+	s.unfinished--
+	s.log(EvShed, j.Name, "", reason)
+}
+
+// settle books a collected attempt when the simulated clock reaches the
+// instance's release time.
+func (s *Scheduler) settle(p pendingPlacement) {
+	att := p.inst.pendingAttempt
+	j := p.job
+	s.gov.settle(p.est.usd, att.usd)
+	p.inst.busy = false
+	p.inst.busyS += att.provisionS + att.computeS
+	p.inst.earnedUSD += att.usd
+	j.done += att.steps
+	j.usd += att.usd
+	j.computeS += att.computeS
+	j.provisionS += att.provisionS
+
+	switch {
+	case att.preempted && j.remaining() > 0:
+		s.log(EvPreempted, j.Name, p.inst.id,
+			fmt.Sprintf("%s after %d steps ($%.4f billed), %d/%d done",
+				att.reason, att.steps, att.usd, j.done, j.Steps))
+		retriesUsed := j.attempts - 1
+		if retriesUsed >= s.cfg.MaxRetries {
+			s.shed(j, fmt.Sprintf("retry cap %d exhausted at %d/%d steps",
+				s.cfg.MaxRetries, j.done, j.Steps))
+			return
+		}
+		backoff := s.cfg.BackoffBaseS * math.Pow(2, float64(retriesUsed))
+		if backoff > s.cfg.BackoffMaxS {
+			backoff = s.cfg.BackoffMaxS
+		}
+		backoff *= 1 + s.cfg.BackoffJitter*s.rng.Float64()
+		j.eligibleAt = s.clock + backoff
+		s.parked = append(s.parked, j)
+		s.log(EvRequeued, j.Name, "",
+			fmt.Sprintf("retry %d/%d, backoff %.1fs", retriesUsed+1, s.cfg.MaxRetries, backoff))
+	case att.aborted:
+		s.shed(j, att.reason)
+	default:
+		j.finished = true
+		j.finishedAt = s.clock
+		s.unfinished--
+		s.log(EvCompleted, j.Name, p.inst.id,
+			fmt.Sprintf("%d steps in %.1fs compute, $%.4f, %.1f MFLUPS",
+				j.done, j.computeS, j.usd, j.mflups()))
+	}
+}
+
+// Run schedules the jobs to completion and returns the report. The
+// Scheduler must not be reused afterwards.
+func (s *Scheduler) Run(jobs []*Job) (*Report, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("fleet: no jobs submitted")
+	}
+	seen := map[string]bool{}
+	for i, j := range jobs {
+		if j.Name == "" {
+			return nil, fmt.Errorf("fleet: job %d has no name", i)
+		}
+		if seen[j.Name] {
+			return nil, fmt.Errorf("fleet: duplicate job name %q", j.Name)
+		}
+		seen[j.Name] = true
+		if j.Steps <= 0 {
+			return nil, fmt.Errorf("fleet: job %q needs positive steps", j.Name)
+		}
+		if len(j.Workload.Tasks) == 0 {
+			return nil, fmt.Errorf("fleet: job %q has an empty workload", j.Name)
+		}
+	}
+
+	// Start the worker pool: one goroutine per instance, each with its
+	// own deterministic RNG stream derived from the fleet seed.
+	for _, inst := range s.insts {
+		inst.cmd = make(chan assignment)
+		go worker(inst, rand.New(rand.NewSource(s.cfg.Seed+0x9E3779B9*int64(inst.index+1))))
+	}
+	defer func() {
+		for _, inst := range s.insts {
+			close(inst.cmd)
+		}
+	}()
+
+	// Submission: log every job, shed the ones no pool instance can ever
+	// host, queue the rest.
+	for i, j := range jobs {
+		st := &jobState{Job: j, seq: i, ranks: len(j.Workload.Tasks), firstStart: -1}
+		s.states = append(s.states, st)
+		s.unfinished++
+		dl := "none"
+		if j.DeadlineS > 0 {
+			dl = fmt.Sprintf("%.0fs", j.DeadlineS)
+		}
+		s.log(EvSubmitted, j.Name, "",
+			fmt.Sprintf("priority %d, %d ranks, %d steps, deadline %s", j.Priority, st.ranks, j.Steps, dl))
+		ok := false
+		for _, inst := range s.insts {
+			if st.compatible(inst) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			s.shed(st, fmt.Sprintf("no pool instance fits %d ranks under the job's constraints", st.ranks))
+			continue
+		}
+		s.queue.push(st)
+	}
+
+	pending := map[int]pendingPlacement{} // keyed by instance index; never iterated
+	for s.unfinished > 0 {
+		// Promote parked jobs whose backoff has elapsed.
+		var stillParked []*jobState
+		for _, j := range s.parked {
+			if j.eligibleAt <= s.clock {
+				s.queue.push(j)
+			} else {
+				stillParked = append(stillParked, j)
+			}
+		}
+		s.parked = stillParked
+
+		// Place and dispatch; every placement of the round runs
+		// concurrently on its instance's worker while we wait.
+		round := s.placeRound()
+		for _, rec := range round {
+			att := <-rec.reply
+			if att.err != nil {
+				return nil, fmt.Errorf("fleet: job %q on %s: %w", rec.job.Name, rec.inst.id, att.err)
+			}
+			rec.inst.pendingAttempt = att
+			rec.inst.freeAt = rec.start + att.provisionS + att.computeS
+			pending[rec.inst.index] = rec
+		}
+
+		// Advance to the next simulated event: the earliest instance
+		// release or parked-job eligibility.
+		next := math.Inf(1)
+		for _, inst := range s.insts {
+			if inst.busy && inst.freeAt < next {
+				next = inst.freeAt
+			}
+		}
+		for _, j := range s.parked {
+			if j.eligibleAt < next {
+				next = j.eligibleAt
+			}
+		}
+		if math.IsInf(next, 1) {
+			if s.queue.Len() == 0 {
+				break
+			}
+			// Nothing is running, nothing is parked, yet jobs remain
+			// queued: no idle instance can take them and no reservation
+			// will ever settle. Shed what is left.
+			for s.queue.Len() > 0 {
+				s.shed(s.queue.pop(), "unplaceable: no compatible instance available")
+			}
+			break
+		}
+		if next > s.clock {
+			s.clock = next
+		}
+
+		// Settle every instance released by now, in pool order (equal
+		// timestamps resolve deterministically).
+		for _, inst := range s.insts {
+			if inst.busy && inst.freeAt <= s.clock {
+				rec := pending[inst.index]
+				delete(pending, inst.index)
+				s.settle(rec)
+			}
+		}
+	}
+	return s.report(), nil
+}

@@ -28,6 +28,9 @@ type Sample struct {
 	MFLUPS    float64 `json:"mflups"`
 	Predicted float64 `json:"predicted_mflups,omitempty"`
 	CostUSD   float64 `json:"cost_usd"`
+	// WaitS is the queue wait before the run first started, reported by
+	// fleet-scheduled jobs (0 for directly submitted runs).
+	WaitS float64 `json:"wait_s,omitempty"`
 }
 
 // key identifies a monitored configuration.
