@@ -70,7 +70,7 @@ func main() {
 		f, err2 := os.Open(*geoIn)
 		fatal(err2)
 		dom, err = geometry.Read(f)
-		f.Close()
+		fatal(f.Close())
 	} else {
 		dom, err = buildGeometry(*geom, *scale)
 	}
@@ -101,7 +101,7 @@ func main() {
 		f, err := os.Open(*resume)
 		fatal(err)
 		fatal(s.Restore(f))
-		f.Close()
+		fatal(f.Close())
 		fmt.Printf("resumed from %s at step %d\n", *resume, s.Steps())
 	}
 	stats := dom.Stats()

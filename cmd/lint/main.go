@@ -1,0 +1,121 @@
+// Command lint runs the repository's static-analysis suite
+// (internal/analyzers) over one or more package patterns and fails on
+// findings that are neither suppressed in-source nor grandfathered in
+// the baseline file.
+//
+// Usage:
+//
+//	go run ./cmd/lint [flags] [patterns]
+//
+//	-checks nodeterm,floateq   run a subset of checks (default: all)
+//	-baseline FILE             baseline of grandfathered findings
+//	                           (default .lint-baseline.json; a missing
+//	                           file means an empty baseline)
+//	-write-baseline            rewrite the baseline from current
+//	                           findings and exit 0
+//	-json                      emit findings as a JSON array
+//	-list                      list available checks and exit
+//
+// Patterns are directories or go-style recursive patterns such as
+// ./... and ./internal/...; the default is ./... from the current
+// directory. The exit status is 0 when no new findings exist, 1 when
+// at least one does, 2 on usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		checksFlag    = fs.String("checks", "", "comma-separated check IDs to run (default: all)")
+		baselineFlag  = fs.String("baseline", ".lint-baseline.json", "baseline file of grandfathered findings")
+		writeBaseline = fs.Bool("write-baseline", false, "rewrite the baseline from current findings")
+		jsonFlag      = fs.Bool("json", false, "emit findings as JSON")
+		listFlag      = fs.Bool("list", false, "list available checks and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *listFlag {
+		for _, c := range analyzers.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", c.ID, c.Doc)
+		}
+		return 0
+	}
+
+	var ids []string
+	if *checksFlag != "" {
+		for _, id := range strings.Split(*checksFlag, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	checks, err := analyzers.Select(ids)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	res, err := analyzers.Run(fs.Args(), checks)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	if *writeBaseline {
+		b := analyzers.NewBaseline(res.Diags)
+		if err := b.Save(*baselineFlag); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "lint: wrote %d finding(s) to %s\n", len(b.Findings), *baselineFlag)
+		return 0
+	}
+
+	baseline, err := analyzers.LoadBaseline(*baselineFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	fresh, stale := baseline.Apply(res.Diags)
+
+	if *jsonFlag {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if fresh == nil {
+			fresh = []analyzers.Diagnostic{}
+		}
+		if err := enc.Encode(fresh); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range fresh {
+			fmt.Fprintln(stdout, d)
+		}
+		for _, e := range stale {
+			fmt.Fprintf(stdout, "lint: stale baseline entry (no longer fires): %s [%s] %s\n",
+				e.File, e.Check, e.Message)
+		}
+		fmt.Fprintf(stdout, "lint: %d file(s), %d finding(s) (%d baselined, %d stale baseline entries)\n",
+			res.Files, len(fresh), len(res.Diags)-len(fresh), len(stale))
+	}
+	if len(fresh) > 0 {
+		return 1
+	}
+	return 0
+}

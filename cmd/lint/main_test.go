@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzers"
+)
+
+// gorleakFixture is a directory with exactly two known findings.
+var gorleakFixture = filepath.Join("..", "..", "internal", "analyzers", "testdata", "gorleak")
+
+func runLint(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListFlag(t *testing.T) {
+	code, out, _ := runLint("-list")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, id := range []string{"nodeterm", "unitsuffix", "floateq", "droppederr", "lockbalance", "gorleak"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list output missing %q", id)
+		}
+	}
+}
+
+func TestUnknownCheckIsUsageError(t *testing.T) {
+	code, _, errOut := runLint("-checks", "bogus", gorleakFixture)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "unknown check") {
+		t.Errorf("stderr %q does not name the unknown check", errOut)
+	}
+}
+
+func TestFindingsFailTheRun(t *testing.T) {
+	code, out, _ := runLint("-checks", "gorleak", gorleakFixture)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "dirty.go") || !strings.Contains(out, "gorleak") {
+		t.Errorf("output does not report the dirty.go findings:\n%s", out)
+	}
+	if !strings.Contains(out, "2 finding(s)") {
+		t.Errorf("summary line missing or wrong:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, _ := runLint("-checks", "gorleak", "-json", gorleakFixture)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var diags []analyzers.Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("-json output is not a diagnostic array: %v\n%s", err, out)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2", len(diags))
+	}
+}
+
+func TestWriteBaselineThenClean(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+	code, _, errOut := runLint("-checks", "gorleak", "-write-baseline", "-baseline", baseline, gorleakFixture)
+	if code != 0 {
+		t.Fatalf("-write-baseline exit %d, want 0; stderr: %s", code, errOut)
+	}
+	code, out, _ := runLint("-checks", "gorleak", "-baseline", baseline, gorleakFixture)
+	if code != 0 {
+		t.Fatalf("baselined run exit %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "0 finding(s) (2 baselined") {
+		t.Errorf("summary does not account for the baselined findings:\n%s", out)
+	}
+}

@@ -101,7 +101,10 @@ func main() {
 	if err := fluid.WriteVTK(out, "cell suspension in cylindrical vessel"); err != nil {
 		log.Fatal(err)
 	}
-	fi, _ := out.Stat()
+	fi, err := out.Stat()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("wrote suspension.vtk (%d KiB) — load it in ParaView\n", fi.Size()/1024)
 	fmt.Println("OK: coupled cells advected stably with Eq. 2 accounting")
 }

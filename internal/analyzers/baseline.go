@@ -1,0 +1,104 @@
+package analyzers
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineEntry identifies a grandfathered finding. Line numbers are
+// deliberately omitted so unrelated edits that shift code do not
+// invalidate the baseline; a finding matches on (file, check, message).
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// Baseline is the persisted set of grandfathered findings. Matching is
+// multiset-style: two identical findings in one file need two entries.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// NewBaseline converts current diagnostics into a baseline.
+func NewBaseline(diags []Diagnostic) Baseline {
+	b := Baseline{Version: 1}
+	for _, d := range diags {
+		b.Findings = append(b.Findings, BaselineEntry{File: d.File, Check: d.Check, Message: d.Message})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// LoadBaseline reads a baseline file. A missing file is not an error:
+// it returns an empty baseline, so fresh checkouts lint strictly.
+func LoadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return Baseline{Version: 1}, nil
+	}
+	if err != nil {
+		return Baseline{}, fmt.Errorf("analyzers: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("analyzers: parsing baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// Save writes the baseline as indented JSON.
+func (b Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Apply splits diagnostics into new findings (not in the baseline) and
+// reports stale baseline entries that no longer fire, so the baseline
+// can be shrunk as debt is paid down.
+func (b Baseline) Apply(diags []Diagnostic) (fresh []Diagnostic, stale []BaselineEntry) {
+	type key struct{ file, check, message string }
+	budget := map[key]int{}
+	for _, e := range b.Findings {
+		budget[key{e.File, e.Check, e.Message}]++
+	}
+	for _, d := range diags {
+		k := key{d.File, d.Check, d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for k, n := range budget {
+		for i := 0; i < n; i++ {
+			stale = append(stale, BaselineEntry{File: k.file, Check: k.check, Message: k.message})
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		a, c := stale[i], stale[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		return a.Message < c.Message
+	})
+	return fresh, stale
+}

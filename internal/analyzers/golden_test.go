@@ -1,0 +1,260 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parseFixture loads one testdata file as a single-file package, the
+// way the runner would see it if its directory held nothing else.
+func parseFixture(t *testing.T, path string) *File {
+	t.Helper()
+	fset := token.NewFileSet()
+	af, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	return &File{
+		Fset:     fset,
+		AST:      af,
+		Path:     path,
+		Pkg:      af.Name.Name,
+		Siblings: []*ast.File{af},
+	}
+}
+
+// runOn runs a single check (by ID) over one fixture.
+func runOn(t *testing.T, checkID, path string) []Diagnostic {
+	t.Helper()
+	checks, err := Select([]string{checkID})
+	if err != nil {
+		t.Fatalf("Select(%s): %v", checkID, err)
+	}
+	return LintFile(parseFixture(t, path), checks)
+}
+
+func TestGoldenDirtyFixtures(t *testing.T) {
+	type want struct {
+		line   int
+		check  string
+		substr string
+	}
+	cases := []struct {
+		check string
+		want  []want
+	}{
+		{check: "nodeterm", want: []want{
+			{12, "nodeterm", "rand.Shuffle"},
+			{16, "nodeterm", "rand.Float64"},
+			{20, "nodeterm", "time.Now"},
+			{21, "nodeterm", "time.Since"},
+			{26, "nodeterm", "order-dependent"},
+			{34, "nodeterm", "order-dependent"},
+		}},
+		{check: "unitsuffix", want: []want{
+			{8, "unitsuffix", "Budget.Limit"},
+			{9, "unitsuffix", "Budget.Used"},
+			{14, "unitsuffix", "Transfer.Elapsed"},
+			{23, "unitsuffix", "mixes units"},
+			{27, "unitsuffix", "mixes units"},
+			{31, "unitsuffix", "mixes units"},
+		}},
+		{check: "floateq", want: []want{
+			{8, "floateq", "float operands"},
+			{12, "floateq", "float operands"},
+			{17, "floateq", "float operands"},
+			{21, "floateq", "float operands"},
+		}},
+		{check: "droppederr", want: []want{
+			{12, "droppederr", "discarded with _ ="},
+			{16, "droppederr", "error return of persist ignored"},
+			{20, "droppederr", "os.Open"},
+			{21, "droppederr", "f.Close"},
+		}},
+		{check: "lockbalance", want: []want{
+			{13, "lockbalance", "no defer"},
+			{18, "lockbalance", "escapes before"},
+		}},
+		{check: "gorleak", want: []want{
+			{6, "gorleak", "no visible join"},
+			{12, "gorleak", "no visible join"},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.check, func(t *testing.T) {
+			path := filepath.Join("testdata", tc.check, "dirty.go")
+			got := runOn(t, tc.check, path)
+			if len(got) != len(tc.want) {
+				t.Fatalf("%s: got %d finding(s), want %d:\n%s",
+					path, len(got), len(tc.want), renderDiags(got))
+			}
+			for i, w := range tc.want {
+				d := got[i]
+				if d.Line != w.line || d.Check != w.check {
+					t.Errorf("finding %d: got %s:%d [%s], want line %d [%s]",
+						i, d.File, d.Line, d.Check, w.line, w.check)
+				}
+				if !strings.Contains(d.Message, w.substr) {
+					t.Errorf("finding %d: message %q does not contain %q", i, d.Message, w.substr)
+				}
+				if d.Severity != SeverityError {
+					t.Errorf("finding %d: severity %q, want %q", i, d.Severity, SeverityError)
+				}
+			}
+		})
+	}
+}
+
+func TestGoldenCleanFixtures(t *testing.T) {
+	for _, check := range []string{"nodeterm", "unitsuffix", "floateq", "droppederr", "lockbalance", "gorleak"} {
+		t.Run(check, func(t *testing.T) {
+			// Clean fixtures must survive the full suite, not just their
+			// own check: a clean idiom that trips a neighboring check is
+			// still a false positive.
+			path := filepath.Join("testdata", check, "clean.go")
+			got := LintFile(parseFixture(t, path), All())
+			if len(got) != 0 {
+				t.Fatalf("%s: want no findings, got:\n%s", path, renderDiags(got))
+			}
+		})
+	}
+}
+
+func TestSuppressionDirectives(t *testing.T) {
+	path := filepath.Join("testdata", "suppress", "file.go")
+	got := runOn(t, "floateq", path)
+	// Same-line, line-above, comma-list and wildcard directives silence
+	// their comparisons; only the directive missing a reason leaks: a
+	// badignore for the malformed comment and the floateq it failed to
+	// suppress.
+	if len(got) != 2 {
+		t.Fatalf("want 2 findings, got:\n%s", renderDiags(got))
+	}
+	if got[0].Check != BadIgnoreID || got[0].Line != 26 {
+		t.Errorf("got %s:%d [%s], want line 26 [%s]", got[0].File, got[0].Line, got[0].Check, BadIgnoreID)
+	}
+	if got[1].Check != "floateq" || got[1].Line != 27 {
+		t.Errorf("got %s:%d [%s], want line 27 [floateq]", got[1].File, got[1].Line, got[1].Check)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		{File: "a.go", Line: 3, Check: "floateq", Message: "m1", Severity: SeverityError},
+		{File: "a.go", Line: 9, Check: "floateq", Message: "m1", Severity: SeverityError},
+		{File: "b.go", Line: 1, Check: "gorleak", Message: "m2", Severity: SeverityError},
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := NewBaseline(diags).Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if len(loaded.Findings) != 3 {
+		t.Fatalf("loaded %d entries, want 3", len(loaded.Findings))
+	}
+	fresh, stale := loaded.Apply(diags)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("round trip: fresh=%d stale=%d, want 0/0", len(fresh), len(stale))
+	}
+}
+
+func TestBaselineFreshAndStale(t *testing.T) {
+	baseline := NewBaseline([]Diagnostic{
+		{File: "a.go", Line: 3, Check: "floateq", Message: "m1"},
+		{File: "gone.go", Line: 8, Check: "gorleak", Message: "paid down"},
+	})
+	now := []Diagnostic{
+		// Same finding as the baseline's a.go entry, but on a different
+		// line: baselines match on (file, check, message) so a shifted
+		// finding stays grandfathered.
+		{File: "a.go", Line: 7, Check: "floateq", Message: "m1"},
+		{File: "c.go", Line: 2, Check: "droppederr", Message: "new finding"},
+	}
+	fresh, stale := baseline.Apply(now)
+	if len(fresh) != 1 || fresh[0].File != "c.go" {
+		t.Errorf("fresh = %+v, want only the c.go finding", fresh)
+	}
+	if len(stale) != 1 || stale[0].File != "gone.go" {
+		t.Errorf("stale = %+v, want only the gone.go entry", stale)
+	}
+}
+
+func TestBaselineMultisetBudget(t *testing.T) {
+	baseline := NewBaseline([]Diagnostic{
+		{File: "a.go", Check: "floateq", Message: "m1"},
+	})
+	now := []Diagnostic{
+		{File: "a.go", Line: 1, Check: "floateq", Message: "m1"},
+		{File: "a.go", Line: 5, Check: "floateq", Message: "m1"},
+	}
+	fresh, _ := baseline.Apply(now)
+	if len(fresh) != 1 {
+		t.Fatalf("one baseline entry must absorb exactly one of two identical findings; fresh=%d", len(fresh))
+	}
+}
+
+func TestLoadBaselineMissingFile(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatalf("missing baseline must not be an error: %v", err)
+	}
+	if len(b.Findings) != 0 {
+		t.Fatalf("missing baseline must be empty, got %d entries", len(b.Findings))
+	}
+}
+
+func TestRunSkipsTestdata(t *testing.T) {
+	res, err := Run([]string{"./..."}, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Files == 0 {
+		t.Fatal("Run lint surface is empty; expected the package's own files")
+	}
+	for _, d := range res.Diags {
+		if strings.Contains(d.File, "testdata") {
+			t.Errorf("testdata leaked into the lint surface: %s", d)
+		}
+	}
+}
+
+func TestRunExplicitDirectory(t *testing.T) {
+	checks, err := Select([]string{"gorleak"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run([]string{filepath.Join("testdata", "gorleak")}, checks)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Files != 2 {
+		t.Errorf("Files = %d, want 2 (dirty.go and clean.go)", res.Files)
+	}
+	if len(res.Diags) != 2 {
+		t.Errorf("got %d finding(s), want the 2 from dirty.go:\n%s", len(res.Diags), renderDiags(res.Diags))
+	}
+}
+
+func TestSelectUnknownCheck(t *testing.T) {
+	if _, err := Select([]string{"nonsense"}); err == nil {
+		t.Fatal("Select must reject unknown check IDs")
+	}
+}
+
+func renderDiags(ds []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range ds {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	if b.Len() == 0 {
+		return "  (none)\n"
+	}
+	return b.String()
+}

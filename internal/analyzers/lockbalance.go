@@ -1,0 +1,199 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// checkLockBalance flags Mutex/RWMutex acquisitions that are not
+// provably released on every path out of the function. Accepted
+// patterns, per receiver expression X:
+//
+//   - `X.Lock()` anywhere in a function that also contains
+//     `defer X.Unlock()` (the dominant idiom);
+//   - `X.Lock()` followed later in the same statement list by
+//     `X.Unlock()`, with no return statement in between.
+//
+// Everything else — a Lock with no textual Unlock, or a return that
+// can fire between the pair — is flagged. The analysis is per
+// function body and purely syntactic; helper methods that lock on
+// behalf of a caller need a suppression comment stating the protocol.
+func checkLockBalance() Check {
+	const id = "lockbalance"
+	return Check{
+		ID:  id,
+		Doc: "every Mutex.Lock has a defer Unlock or a matching Unlock on all return paths",
+		Run: func(f *File) []Diagnostic {
+			var diags []Diagnostic
+			funcBodies(f.AST, func(name string, ftype *ast.FuncType, body *ast.BlockStmt) {
+				diags = append(diags, lockFindings(f, id, name, body)...)
+			})
+			return diags
+		},
+	}
+}
+
+// lockKind distinguishes the write and read halves of an RWMutex so
+// RLock is matched against RUnlock, not Unlock.
+func lockKind(name string) (unlock string, ok bool) {
+	switch name {
+	case "Lock":
+		return "Unlock", true
+	case "RLock":
+		return "RUnlock", true
+	}
+	return "", false
+}
+
+// lockFindings walks one function body.
+func lockFindings(f *File, id, fname string, body *ast.BlockStmt) []Diagnostic {
+	// Receivers with a deferred unlock anywhere in the function:
+	// their locks are safe regardless of control flow.
+	deferred := map[string]bool{} // "recv.Unlock" -> true
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate frame, separate pass
+		}
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		recv, name := calleeOf(ds.Call)
+		if recv != "" && (name == "Unlock" || name == "RUnlock") {
+			deferred[recv+"."+name] = true
+		}
+		// A deferred closure that unlocks also counts.
+		if fl, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				r, nm := calleeOf(call)
+				if r != "" && (nm == "Unlock" || nm == "RUnlock") {
+					deferred[r+"."+nm] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	var diags []Diagnostic
+	var walkList func(stmts []ast.Stmt)
+	walkList = func(stmts []ast.Stmt) {
+		for i, s := range stmts {
+			// Recurse into nested blocks; function literals are their
+			// own frame and get their own funcBodies pass.
+			ast.Inspect(s, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if blk, ok := n.(*ast.BlockStmt); ok && n != s {
+					walkList(blk.List)
+					return false
+				}
+				return true
+			})
+
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			recv, name := calleeOf(call)
+			unlockName, isLock := lockKind(name)
+			if !isLock || recv == "" || !looksLikeMutex(recv) {
+				continue
+			}
+			if deferred[recv+"."+unlockName] {
+				continue
+			}
+			// Scan forward in this statement list for the unlock;
+			// any return before it escapes with the lock held.
+			released := false
+			for _, later := range stmts[i+1:] {
+				if returnBeforeUnlock(later, recv, unlockName) {
+					diags = append(diags, f.diag(call.Pos(), id, SeverityError,
+						"%s.%s in %s: a return path escapes before %s.%s; use defer",
+						recv, name, fname, recv, unlockName))
+					released = true // reported; don't double-report below
+					break
+				}
+				if stmtUnlocks(later, recv, unlockName) {
+					released = true
+					break
+				}
+			}
+			if !released {
+				diags = append(diags, f.diag(call.Pos(), id, SeverityError,
+					"%s.%s in %s has no defer %s.%s and no unlock on the fallthrough path",
+					recv, name, fname, recv, unlockName))
+			}
+		}
+	}
+	walkList(body.List)
+	return diags
+}
+
+// looksLikeMutex filters receiver names so arbitrary .Lock methods
+// (e.g. a file-lock API) only match when the expression reads like a
+// mutex: the last path element is or contains mu/mtx/mutex/lock, case
+// insensitive. Conservative on purpose — this codebase names its
+// mutexes mu.
+func looksLikeMutex(recv string) bool {
+	last := recv
+	if i := strings.LastIndex(recv, "."); i >= 0 {
+		last = recv[i+1:]
+	}
+	lower := strings.ToLower(last)
+	return lower == "mu" || lower == "mtx" ||
+		strings.Contains(lower, "mutex") || strings.Contains(lower, "lock")
+}
+
+// stmtUnlocks reports whether a statement (or anything nested in it)
+// calls recv.unlockName outside a defer.
+func stmtUnlocks(s ast.Stmt, recv, unlockName string) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		r, nm := calleeOf(call)
+		if r == recv && nm == unlockName {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// returnBeforeUnlock reports whether a statement contains a return
+// that is not preceded (within the statement's own nesting) by the
+// matching unlock.
+func returnBeforeUnlock(s ast.Stmt, recv, unlockName string) bool {
+	if stmtUnlocks(s, recv, unlockName) {
+		// The unlock exists somewhere inside; assume the author paired
+		// it with any return in the same arm. A finer path analysis
+		// costs more precision than it buys at this codebase's size.
+		return false
+	}
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.FuncLit:
+			return false // separate frame, separate analysis
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,175 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Result is one lint run over a set of packages.
+type Result struct {
+	Diags []Diagnostic // suppressed findings already filtered out
+	Files int          // number of files analyzed
+}
+
+// Run lints the directories matched by the given package patterns. A
+// pattern is either a directory path or a path ending in "/..." for a
+// recursive walk (the familiar go-tool spelling). Test files and
+// testdata, vendor, hidden and underscore directories are skipped:
+// tests legitimately use wall clocks, exact comparisons against golden
+// values and discarded errors, and testdata holds intentionally dirty
+// fixtures.
+func Run(patterns []string, checks []Check) (Result, error) {
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	for _, dir := range dirs {
+		diags, n, err := lintDir(dir, checks)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Diags = append(res.Diags, diags...)
+		res.Files += n
+	}
+	sortDiags(res.Diags)
+	return res, nil
+}
+
+// expandPatterns resolves patterns into a sorted, de-duplicated list of
+// directories containing at least one non-test Go file.
+func expandPatterns(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, p := range patterns {
+		if rest, ok := strings.CutSuffix(p, "..."); ok {
+			root := filepath.Clean(strings.TrimSuffix(rest, "/"))
+			if root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				if skipDir(d.Name()) && path != root {
+					return filepath.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("analyzers: walking %s: %w", p, err)
+			}
+			continue
+		}
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, fmt.Errorf("analyzers: %w", err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("analyzers: pattern %q is not a directory", p)
+		}
+		add(filepath.Clean(p))
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// skipDir reports whether a directory subtree is outside the lint
+// surface.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// hasGoFiles reports whether dir directly contains a lintable Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && lintableFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// lintableFile reports whether a file name is in scope.
+func lintableFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// lintDir parses every lintable file of one directory as a package
+// group and runs the checks over each file.
+func lintDir(dir string, checks []Check) ([]Diagnostic, int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("analyzers: %w", err)
+	}
+	fset := token.NewFileSet()
+	type parsed struct {
+		path string
+		ast  *ast.File
+	}
+	var files []parsed
+	for _, e := range entries {
+		if e.IsDir() || !lintableFile(e.Name()) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		af, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, 0, fmt.Errorf("analyzers: %w", err)
+		}
+		files = append(files, parsed{path: path, ast: af})
+	}
+	asts := make([]*ast.File, len(files))
+	for i := range files {
+		asts[i] = files[i].ast
+	}
+	var diags []Diagnostic
+	for i := range files {
+		f := &File{
+			Fset:     fset,
+			AST:      files[i].ast,
+			Path:     files[i].path,
+			Pkg:      files[i].ast.Name.Name,
+			Siblings: asts,
+		}
+		diags = append(diags, LintFile(f, checks)...)
+	}
+	return diags, len(files), nil
+}
+
+// LintFile runs the checks over one prepared file and applies its
+// suppression directives. Exposed for the golden-file tests.
+func LintFile(f *File, checks []Check) []Diagnostic {
+	dirs, diags := parseIgnores(f)
+	for _, c := range checks {
+		diags = append(diags, c.Run(f)...)
+	}
+	diags = suppress(diags, dirs)
+	sortDiags(diags)
+	return diags
+}

@@ -1,0 +1,31 @@
+// Package fixtures holds handled-error idioms the droppederr check
+// must accept.
+package fixtures
+
+import (
+	"os"
+	"strconv"
+)
+
+func store(path string) error {
+	return nil
+}
+
+func report() {}
+
+func handled() (int, error) {
+	if err := store("state.json"); err != nil {
+		return 0, err
+	}
+	return strconv.Atoi("12")
+}
+
+func deferredClose() error {
+	f, err := os.Open("state.json")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	report()
+	return nil
+}

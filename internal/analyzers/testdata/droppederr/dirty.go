@@ -1,0 +1,22 @@
+// Package fixtures exercises the droppederr check: every discard
+// below must be flagged.
+package fixtures
+
+import "os"
+
+func persist(path string) error {
+	return nil
+}
+
+func discardExplicit() {
+	_ = persist("state.json")
+}
+
+func discardBareCall() {
+	persist("state.json")
+}
+
+func discardOpenErr() {
+	f, _ := os.Open("state.json")
+	f.Close()
+}

@@ -1,0 +1,16 @@
+// Package fixtures holds comparisons the floateq check must accept.
+package fixtures
+
+import "math"
+
+func intEqual(a, b int) bool {
+	return a == b
+}
+
+func withinTolerance(a, b, eps float64) bool {
+	return math.Abs(a-b) < eps
+}
+
+func stringEqual(a, b string) bool {
+	return a == b
+}

@@ -1,0 +1,22 @@
+// Package fixtures exercises the floateq check: exact ==/!= between
+// floating-point operands.
+package fixtures
+
+import "math"
+
+func exactEqual(a, b float64) bool {
+	return a == b
+}
+
+func sentinelCompare(x float64) bool {
+	return x != 0.5
+}
+
+func inferredChain(x float64) bool {
+	y := x * 2
+	return y == 0
+}
+
+func mathCall(v float64) bool {
+	return math.Sqrt(v) == 1
+}

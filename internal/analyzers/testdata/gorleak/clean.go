@@ -1,0 +1,24 @@
+// Package fixtures holds joined-goroutine idioms the gorleak check
+// must accept.
+package fixtures
+
+import "sync"
+
+func joinedByWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func joinedByChannel() int {
+	done := make(chan int, 1)
+	go func() {
+		done <- 1
+	}()
+	return <-done
+}

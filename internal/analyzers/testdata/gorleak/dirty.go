@@ -1,0 +1,15 @@
+// Package fixtures exercises the gorleak check: goroutines launched
+// with no join in sight.
+package fixtures
+
+func fireAndForget() {
+	go func() {
+		churn()
+	}()
+}
+
+func spawnNamed() {
+	go churn()
+}
+
+func churn() {}

@@ -1,0 +1,37 @@
+// Package fixtures holds balanced locking idioms the lockbalance
+// check must accept.
+package fixtures
+
+import "sync"
+
+type gauge struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (g *gauge) deferredUnlock() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func (g *gauge) straightLine() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func (g *gauge) readSide() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.n
+}
+
+func (g *gauge) deferredClosure() {
+	g.mu.Lock()
+	defer func() {
+		g.n++
+		g.mu.Unlock()
+	}()
+}

@@ -1,0 +1,24 @@
+// Package fixtures exercises the lockbalance check: every lock below
+// escapes some path without its unlock.
+package fixtures
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) leakLock() {
+	c.mu.Lock()
+	c.n++
+}
+
+func (c *counter) earlyReturn(skip bool) int {
+	c.mu.Lock()
+	if skip {
+		return -1
+	}
+	c.mu.Unlock()
+	return c.n
+}

@@ -1,0 +1,35 @@
+// Package fleet is a lint fixture: everything below follows the
+// determinism rules and must stay silent.
+package fleet
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func shuffleSeeded(seed int64, xs []int) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func stampInjected(now func() time.Time) time.Time {
+	return now()
+}
+
+func renderSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,37 @@
+// Package fleet is a lint fixture: its name places it in the
+// deterministic set, so every construct below must be flagged.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func drawGlobal() float64 {
+	return rand.Float64()
+}
+
+func stampWall() float64 {
+	start := time.Now()
+	return time.Since(start).Seconds()
+}
+
+func renderCounts(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func printCounts() {
+	m := map[string]int{"a": 1}
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,28 @@
+// Package fixtures exercises //lint:ignore handling: same-line and
+// previous-line suppressions, a comma list, a wildcard, and one
+// malformed directive that must surface as badignore.
+package fixtures
+
+func sameLine(a, b float64) bool {
+	return a == b //lint:ignore floateq fixture: exact comparison is the point
+}
+
+func lineAbove(a, b float64) bool {
+	//lint:ignore floateq fixture: exact comparison is the point
+	return a == b
+}
+
+func commaList(a, b float64) bool {
+	//lint:ignore floateq,nodeterm fixture: both checks silenced
+	return a == b
+}
+
+func wildcard(a, b float64) bool {
+	//lint:ignore * fixture: everything on this line is fine
+	return a == b
+}
+
+func missingReason(a, b float64) bool {
+	//lint:ignore floateq
+	return a == b
+}

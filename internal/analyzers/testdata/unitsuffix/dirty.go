@@ -1,0 +1,32 @@
+// Package fixtures exercises the unitsuffix check: mixed-unit
+// arithmetic and exported float fields whose documented unit is
+// missing from the name.
+package fixtures
+
+// Budget describes a job's spending envelope.
+type Budget struct {
+	Limit float64 // maximum spend in dollars
+	Used  float64 // dollars already committed
+}
+
+// Transfer describes one measured message.
+type Transfer struct {
+	Elapsed float64 // transfer time in microseconds
+}
+
+// Window is a suffixed struct used by mixFields below.
+type Window struct {
+	SpanMS float64
+}
+
+func mixDimensions(durS, sizeBytes float64) float64 {
+	return durS + sizeBytes
+}
+
+func mixScales(totalS, latencyUS float64) bool {
+	return totalS > latencyUS
+}
+
+func mixFields(w Window, durS float64) bool {
+	return durS < w.SpanMS
+}

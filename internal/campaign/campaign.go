@@ -124,6 +124,7 @@ func (c *Config) Validate() error {
 			if ph.DiameterMM <= 0 || ph.PeakSpeedMS <= 0 || ph.SitesAcross < 8 || ph.Beats <= 0 {
 				return fmt.Errorf("campaign: job %q has incomplete physical spec %+v", j.Name, ph)
 			}
+			//lint:ignore floateq 0 is the documented steady-flow sentinel, never a computed value
 			if ph.HeartRateHz == 0 {
 				// Steady flow: "beats" counts characteristic times D/U.
 			}
@@ -247,11 +248,11 @@ func resolve(j JobConfig) (scale float64, steps int, params lbm.Params, warnings
 
 // JobOutcome reports one executed job.
 type JobOutcome struct {
-	Name      string
-	System    string
-	Planned   bool // false when skipped for budget
-	Result    cloud.JobResult
-	Predicted float64 // predicted MFLUPS at plan time
+	Name            string
+	System          string
+	Planned         bool // false when skipped for budget
+	Result          cloud.JobResult
+	PredictedMFLUPS float64 // prediction at plan time
 }
 
 // Summary reports a finished campaign.
@@ -275,7 +276,7 @@ func (s Summary) Render() string {
 			status = "aborted: " + o.Result.AbortReason
 		}
 		fmt.Fprintf(&b, "%-22s %-12s %10d %12.2f %12.2f %10.4f %s\n",
-			o.Name, o.System, o.Result.StepsDone, o.Predicted, o.Result.Result.MFLUPS,
+			o.Name, o.System, o.Result.StepsDone, o.PredictedMFLUPS, o.Result.Result.MFLUPS,
 			o.Result.USD, status)
 	}
 	for _, name := range s.Skipped {
@@ -346,7 +347,7 @@ func Run(fw *core.Framework, cfg Config) (Summary, error) {
 		res := runner.Results[len(runner.Results)-1]
 		summary.Outcomes = append(summary.Outcomes, JobOutcome{
 			Name: j.Name, System: system, Planned: true,
-			Result: res, Predicted: pred.MFLUPS,
+			Result: res, PredictedMFLUPS: pred.MFLUPS,
 		})
 		// Feed the refinement loop with completed, unaborted runs.
 		if !res.Aborted && res.StepsDone > 0 {

@@ -79,7 +79,7 @@ func TestRunCampaignEndToEnd(t *testing.T) {
 		if o.Result.StepsDone != 500 {
 			t.Errorf("job %s incomplete: %d steps", o.Name, o.Result.StepsDone)
 		}
-		if o.System == "" || o.Predicted <= 0 {
+		if o.System == "" || o.PredictedMFLUPS <= 0 {
 			t.Errorf("job %s missing plan info: %+v", o.Name, o)
 		}
 	}

@@ -1,0 +1,100 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseCampaign throws arbitrary bytes at the campaign config
+// parser. Load must never panic; when it accepts a config, the
+// validated invariants must actually hold, per-job resolution must not
+// panic, and re-encoding the config must parse back to the same value
+// (the round-trip a user performs when a tool rewrites their config).
+func FuzzParseCampaign(f *testing.F) {
+	seeds := []string{
+		// Minimal lattice-quantity campaign.
+		`{"budget_usd":10,"objective":"min-cost","jobs":[{"name":"a","geometry":"cylinder","scale":6,"ranks":4,"steps":100}]}`,
+		// Physical spec, steady flow.
+		`{"budget_usd":25,"objective":"max-value","jobs":[{"name":"carotid","geometry":"stenosis","ranks":8,"physical":{"diameter_mm":6,"peak_speed_ms":0.4,"sites_across":48,"beats":2}}]}`,
+		// Physical spec, pulsatile, pinned system, spot.
+		`{"seed":7,"budget_usd":100,"objective":"min-time","retries":2,"jobs":[{"name":"aorta","geometry":"aorta","ranks":16,"system":"CSP-1","spot":true,"tolerance":0.1,"physical":{"diameter_mm":25,"peak_speed_ms":1.0,"heart_rate_hz":1.2,"sites_across":64,"beats":3}}]}`,
+		// Fleet backend with scheduling contract fields.
+		`{"budget_usd":50,"jobs":[{"name":"j1","geometry":"bifurcation","scale":8,"ranks":8,"steps":200,"priority":3,"deadline_s":1800,"on_demand_only":true}],"fleet":{"instances":[{"system":"CSP-1","count":2}],"max_retries":1,"backoff_base_s":30}}`,
+		// Invalid inputs the parser must reject gracefully.
+		`{"budget_usd":-1,"jobs":[]}`,
+		`{"budget_usd":5,"jobs":[{"name":"x","geometry":"torus","scale":4,"ranks":1,"steps":10}]}`,
+		`{"budget_usd":5,"jobs":[{"name":"x","geometry":"cylinder","scale":4,"ranks":1,"steps":10,"physical":{"diameter_mm":5,"peak_speed_ms":0.5,"sites_across":32,"beats":1}}]}`,
+		`{"budget_usd":1e308,"objective":"max-throughput","jobs":[{"name":"big","geometry":"cerebral","ranks":1,"physical":{"diameter_mm":1e300,"peak_speed_ms":1e300,"sites_across":2147483647,"beats":1e300}}]}`,
+		`not json at all`,
+		`{"unknown_field":1,"budget_usd":10,"jobs":[{"name":"a","geometry":"cylinder","scale":6,"ranks":4,"steps":100}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: the only requirement is not panicking
+		}
+
+		// Load claims the config is valid; spot-check the contract.
+		if cfg.BudgetUSD <= 0 {
+			t.Fatalf("accepted non-positive budget %g", cfg.BudgetUSD)
+		}
+		if len(cfg.Jobs) == 0 {
+			t.Fatal("accepted a campaign with no jobs")
+		}
+		names := map[string]bool{}
+		for _, j := range cfg.Jobs {
+			if j.Name == "" || names[j.Name] {
+				t.Fatalf("accepted missing/duplicate job name %q", j.Name)
+			}
+			names[j.Name] = true
+			if j.Tolerance <= 0 {
+				t.Fatalf("job %q passed validation with tolerance %g", j.Name, j.Tolerance)
+			}
+			// Resolution must not panic on any accepted job, and an
+			// accepted lattice-quantity job must resolve verbatim.
+			scale, steps, _, _, err := resolve(j)
+			if j.Physical == nil {
+				if err != nil {
+					t.Fatalf("lattice job %q failed to resolve: %v", j.Name, err)
+				}
+				if scale != j.Scale || steps != j.Steps {
+					t.Fatalf("lattice job %q resolved to (%g, %d), want (%g, %d)",
+						j.Name, scale, steps, j.Scale, j.Steps)
+				}
+			} else if err == nil && steps < 1 {
+				t.Fatalf("physical job %q resolved to %d steps without error", j.Name, steps)
+			}
+		}
+
+		// Round trip: a validated config re-encodes to a config that
+		// parses and validates to the same value.
+		out, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("re-encoding validated config: %v", err)
+		}
+		again, err := Load(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-parsing %s: %v", out, err)
+		}
+		if !reflect.DeepEqual(cfg, again) {
+			t.Fatalf("round trip drifted:\n first: %+v\nsecond: %+v", cfg, again)
+		}
+	})
+}
+
+// TestLoadRejectsTrailingGarbageGracefully pins the decoder behavior the
+// fuzzer relies on: one JSON value is read, errors are wrapped, and no
+// input panics.
+func TestLoadErrorsAreWrapped(t *testing.T) {
+	_, err := Load(strings.NewReader(`{"budget_usd":`))
+	if err == nil || !strings.Contains(err.Error(), "campaign:") {
+		t.Fatalf("want wrapped parse error, got %v", err)
+	}
+}

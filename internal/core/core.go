@@ -203,7 +203,7 @@ func (f *Framework) Observe(a *Anatomy, system string, ranks, steps int) (perfmo
 		return perfmodel.Prediction{}, simcloud.Result{}, err
 	}
 	if err := f.Monitor.Add(monitor.Sample{
-		Time:      f.Provider.Clock(),
+		TimeS:     f.Provider.Clock(),
 		Workload:  a.Name,
 		System:    system,
 		Model:     pred.Model,

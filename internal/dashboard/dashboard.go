@@ -85,8 +85,8 @@ func (d *Dashboard) Assess(ws perfmodel.WorkloadSummary, g perfmodel.GeneralMode
 		}
 		seconds := pred.SecondsPerStep * float64(steps)
 		nodes := (ranks + e.System.CoresPerNode - 1) / e.System.CoresPerNode
-		usd := float64(nodes) * seconds / 3600 * e.System.PricePerNodeHour
-		hourlyPrice := float64(nodes) * e.System.PricePerNodeHour
+		usd := float64(nodes) * seconds / 3600 * e.System.PricePerNodeHourUSD
+		hourlyPrice := float64(nodes) * e.System.PricePerNodeHourUSD
 		out = append(out, Assessment{
 			System:              e.System.Abbrev,
 			Ranks:               ranks,
@@ -243,6 +243,7 @@ func Pareto(as []Assessment) []Assessment {
 		}
 	}
 	sort.Slice(frontier, func(i, j int) bool {
+		//lint:ignore floateq exact tie-break keeps the sort deterministic; no arithmetic feeds it
 		if frontier[i].Seconds != frontier[j].Seconds {
 			return frontier[i].Seconds < frontier[j].Seconds
 		}

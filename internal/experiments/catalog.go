@@ -27,7 +27,7 @@ func Table1() Report {
 	row("Cores per Node", func(s *machine.System) string { return fmt.Sprintf("%d", s.CoresPerNode) })
 	row("Memory per Node (GB)", func(s *machine.System) string { return fmt.Sprintf("%.0f", s.MemPerNodeGB) })
 	row("Interconnect (Gbit/s)", func(s *machine.System) string { return fmt.Sprintf("%.0f", s.InterconnectGbps) })
-	row("Price ($/node-hour)", func(s *machine.System) string { return fmt.Sprintf("%.2f", s.PricePerNodeHour) })
+	row("Price ($/node-hour)", func(s *machine.System) string { return fmt.Sprintf("%.2f", s.PricePerNodeHourUSD) })
 
 	series := map[string][]Point{}
 	for _, s := range cat {

@@ -327,7 +327,7 @@ func ExtTermSelection() (Report, error) {
 		if err != nil {
 			return Report{}, err
 		}
-		obs = append(obs, perfmodel.Observation{Workload: w, Measured: res.MFLUPS})
+		obs = append(obs, perfmodel.Observation{Workload: w, MeasuredMFLUPS: res.MFLUPS})
 	}
 	candidates := []perfmodel.Term{
 		perfmodel.FlopTerm(

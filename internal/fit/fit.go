@@ -72,6 +72,7 @@ func LinearLSQ(xs, ys []float64) (Linear, error) {
 		sxy += xs[i] * ys[i]
 	}
 	den := n*sxx - sx*sx
+	//lint:ignore floateq exact-zero guard before division: degenerate inputs only
 	if den == 0 {
 		return Linear{}, fmt.Errorf("%w: degenerate x values", ErrBadInput)
 	}
@@ -96,6 +97,7 @@ func LinearThroughPoint(xs, ys []float64, intercept float64) (Linear, error) {
 		num += xs[i] * (ys[i] - intercept)
 		den += xs[i] * xs[i]
 	}
+	//lint:ignore floateq exact-zero guard before division: degenerate inputs only
 	if den == 0 {
 		return Linear{}, fmt.Errorf("%w: all x values are zero", ErrBadInput)
 	}
@@ -114,7 +116,9 @@ func quality(xs, ys []float64, f func(float64) float64) (sse, r2 float64) {
 		d := ys[i] - mean
 		sst += d * d
 	}
+	//lint:ignore floateq exact-zero guards: SST/SSE are sums of squares, zero only when all residuals vanish
 	if sst == 0 {
+		//lint:ignore floateq see above
 		if sse == 0 {
 			return 0, 1
 		}
@@ -230,9 +234,11 @@ func twoLineGivenKnee(threads, bw []float64, a3 float64) (TwoLine, bool) {
 	det := s11*s22 - s12*s12
 	var a1, a2 float64
 	switch {
+	//lint:ignore floateq exact singularity test selecting the solver branch; near-zero det is legitimate
 	case det != 0:
 		a1 = (s22*s1y - s12*s2y) / det
 		a2 = (s11*s2y - s12*s1y) / det
+	//lint:ignore floateq exact-zero guard before division
 	case s11 != 0:
 		// All points on one side of the knee: single-slope fit.
 		a1 = s1y / s11

@@ -21,7 +21,7 @@ const (
 
 // Event is one structured, simulated-time-stamped log record.
 type Event struct {
-	T        float64   `json:"t"`   // simulated seconds
+	TimeS    float64   `json:"t"`   // simulated seconds
 	Seq      int       `json:"seq"` // total order, stable under equal timestamps
 	Type     EventType `json:"type"`
 	Job      string    `json:"job"`
@@ -34,7 +34,7 @@ type Event struct {
 // event logs byte-identical.
 func (e Event) String() string {
 	return fmt.Sprintf("t=%12.2f  #%03d  %-9s  %-22s  %-16s  %s",
-		e.T, e.Seq, e.Type, e.Job, e.Instance, e.Detail)
+		e.TimeS, e.Seq, e.Type, e.Job, e.Instance, e.Detail)
 }
 
 // RenderEvents formats the whole log.

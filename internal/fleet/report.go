@@ -72,21 +72,21 @@ func (s *Scheduler) report() *Report {
 	}
 	for _, j := range s.states {
 		jr := JobReport{
-			Name:      j.Name,
-			System:    "-",
-			Priority:  j.Priority,
-			Ranks:     j.ranks,
-			Steps:     j.Steps,
-			StepsDone: j.done,
-			Attempts:  j.attempts,
-			StartS:    j.firstStart,
-			DoneS:     j.finishedAt,
-			ComputeS:  j.computeS,
+			Name:       j.Name,
+			System:     "-",
+			Priority:   j.Priority,
+			Ranks:      j.ranks,
+			Steps:      j.Steps,
+			StepsDone:  j.done,
+			Attempts:   j.attempts,
+			StartS:     j.firstStart,
+			DoneS:      j.finishedAt,
+			ComputeS:   j.computeS,
 			ProvisionS: j.provisionS,
-			USD:       j.usd,
-			MFLUPS:    j.mflups(),
-			DeadlineS: j.DeadlineS,
-			Completed: j.completed(),
+			USD:        j.usd,
+			MFLUPS:     j.mflups(),
+			DeadlineS:  j.DeadlineS,
+			Completed:  j.completed(),
 		}
 		if j.system != "" {
 			jr.System = j.system
@@ -186,7 +186,7 @@ func (r *Report) ExportMonitor(st *monitor.Store) error {
 			model = "direct"
 		}
 		if err := st.Add(monitor.Sample{
-			Time:      j.DoneS,
+			TimeS:     j.DoneS,
 			Workload:  j.Name,
 			System:    j.System,
 			Model:     model,

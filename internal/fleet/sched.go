@@ -72,7 +72,7 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 // log appends one event at the current simulated time.
 func (s *Scheduler) log(t EventType, job, inst, detail string) {
 	s.events = append(s.events, Event{
-		T: s.clock, Seq: s.eseq, Type: t, Job: job, Instance: inst, Detail: detail,
+		TimeS: s.clock, Seq: s.eseq, Type: t, Job: job, Instance: inst, Detail: detail,
 	})
 	s.eseq++
 }

@@ -66,6 +66,7 @@ func CollideCell(cell *[NQ]float64, p Params, gx, gy, gz float64) {
 			cell[q] -= omega * (cell[q] - feq[q])
 		}
 	}
+	//lint:ignore floateq exact zero skips the force term entirely; forces are configured, not computed
 	if gx != 0 || gy != 0 || gz != 0 {
 		for q := 0; q < NQ; q++ {
 			cell[q] += 3 * W[q] * (float64(Cx[q])*gx + float64(Cy[q])*gy + float64(Cz[q])*gz)

@@ -119,6 +119,7 @@ func (a *OSIAccumulator) MeanOSI() (float64, error) {
 		sum += s.OSI * s.MeanWSS
 		weight += s.MeanWSS
 	}
+	//lint:ignore floateq exact-zero guard before division: WSS weights are nonnegative sums
 	if weight == 0 {
 		return 0, fmt.Errorf("lbm: no wall sites carried shear")
 	}

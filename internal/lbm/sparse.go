@@ -152,6 +152,7 @@ func (s *Sparse) buildInletProfile() error {
 			rMax = math.Max(rMax, math.Sqrt(dy*dy+dz*dz))
 		}
 	}
+	//lint:ignore floateq exact zero means the loop found no off-axis site
 	if rMax == 0 {
 		rMax = 1 // single-site inlet: flat profile
 	}

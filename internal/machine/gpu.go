@@ -55,9 +55,9 @@ func NewCSP2GPU() *System {
 			PCIe:      LinkModel{BandwidthMBps: 12000, LatencyUS: 6.5},
 			PerNode:   4,
 		},
-		NoiseCV:          0.012,
-		PricePerNodeHour: 12.24,
-		ProvisionDelayS:  140,
+		NoiseCV:             0.012,
+		PricePerNodeHourUSD: 12.24,
+		ProvisionDelayS:     140,
 	}
 }
 

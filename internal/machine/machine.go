@@ -21,7 +21,9 @@ import (
 // per-core limited below the knee A3, memory-subsystem limited above it.
 // All bandwidths are MB/s.
 type MemoryModel struct {
+	//lint:ignore unitsuffix A1/A2/A3 mirror the paper's Eq. 8 parameter names; the unit lives in the struct doc
 	A1 float64 // per-thread bandwidth slope below the knee (MB/s per thread)
+	//lint:ignore unitsuffix same Eq. 8 naming convention
 	A2 float64 // residual slope above the knee (MB/s per thread)
 	A3 float64 // knee position (threads)
 
@@ -105,9 +107,9 @@ type System struct {
 	// Commercial terms for the dashboard and budget guard. Prices are
 	// synthetic but proportioned like 2022-era on-demand rates; the
 	// decision framework only depends on their ratios.
-	PricePerNodeHour float64 // USD per node-hour
-	ProvisionDelayS  float64 // seconds from request to usable nodes
-	Dedicated        bool    // dedicated (allocation) vs on-demand
+	PricePerNodeHourUSD float64 // USD per node-hour
+	ProvisionDelayS     float64 // seconds from request to usable nodes
+	Dedicated           bool    // dedicated (allocation) vs on-demand
 }
 
 // Nodes returns how many nodes are needed to host the given number of
@@ -180,7 +182,7 @@ func (s *System) RunNoise(rng *rand.Rand) float64 {
 // the paper assumes "cloud allocations are node based wherein the user is
 // allocated all cores on a node".
 func (s *System) JobCost(ranks int, seconds float64) float64 {
-	return float64(s.Nodes(ranks)) * seconds / 3600 * s.PricePerNodeHour
+	return float64(s.Nodes(ranks)) * seconds / 3600 * s.PricePerNodeHourUSD
 }
 
 // String returns the abbreviation, the identity used in all tables.

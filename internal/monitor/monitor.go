@@ -20,7 +20,7 @@ import (
 
 // Sample is one telemetry record from a completed run.
 type Sample struct {
-	Time      float64 `json:"time"` // simulated epoch seconds
+	TimeS     float64 `json:"time"` // simulated epoch seconds
 	Workload  string  `json:"workload"`
 	System    string  `json:"system"`
 	Model     string  `json:"model,omitempty"` // which model predicted, if any
@@ -52,8 +52,8 @@ func (st *Store) Add(s Sample) error {
 	if s.Workload == "" || s.System == "" {
 		return fmt.Errorf("monitor: sample missing workload or system")
 	}
-	if n := len(st.samples); n > 0 && s.Time < st.samples[n-1].Time {
-		return fmt.Errorf("monitor: sample at t=%g arrives before t=%g", s.Time, st.samples[n-1].Time)
+	if n := len(st.samples); n > 0 && s.TimeS < st.samples[n-1].TimeS {
+		return fmt.Errorf("monitor: sample at t=%g arrives before t=%g", s.TimeS, st.samples[n-1].TimeS)
 	}
 	st.samples = append(st.samples, s)
 	return nil
@@ -104,12 +104,12 @@ func (st *Store) Baseline(workload, system string, ranks int) (fit.Summary, erro
 // Regression flags a configuration whose latest run fell significantly
 // below its historical baseline.
 type Regression struct {
-	Workload string
-	System   string
-	Ranks    int
-	Baseline float64 // historical mean MFLUPS (excluding the latest run)
-	Latest   float64
-	Sigmas   float64 // how many baseline standard deviations below mean
+	Workload       string
+	System         string
+	Ranks          int
+	BaselineMFLUPS float64 // historical mean (excluding the latest run)
+	LatestMFLUPS   float64
+	Sigmas         float64 // how many baseline standard deviations below mean
 }
 
 // DetectRegressions scans every configuration with at least minHistory+1
@@ -145,12 +145,12 @@ func (st *Store) DetectRegressions(minHistory int, threshold float64) ([]Regress
 		sigmas := (sum.Mean - latest.MFLUPS) / sum.StdDev
 		if sigmas > threshold {
 			out = append(out, Regression{
-				Workload: latest.Workload,
-				System:   latest.System,
-				Ranks:    latest.Ranks,
-				Baseline: sum.Mean,
-				Latest:   latest.MFLUPS,
-				Sigmas:   sigmas,
+				Workload:       latest.Workload,
+				System:         latest.System,
+				Ranks:          latest.Ranks,
+				BaselineMFLUPS: sum.Mean,
+				LatestMFLUPS:   latest.MFLUPS,
+				Sigmas:         sigmas,
 			})
 		}
 	}

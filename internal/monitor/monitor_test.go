@@ -10,15 +10,15 @@ import (
 )
 
 func sample(t float64, mflups float64) Sample {
-	return Sample{Time: t, Workload: "aorta", System: "CSP-2", Ranks: 36, MFLUPS: mflups}
+	return Sample{TimeS: t, Workload: "aorta", System: "CSP-2", Ranks: 36, MFLUPS: mflups}
 }
 
 func TestAddValidation(t *testing.T) {
 	var st Store
-	if err := st.Add(Sample{Time: 1, Workload: "a", System: "s", MFLUPS: 0}); err == nil {
+	if err := st.Add(Sample{TimeS: 1, Workload: "a", System: "s", MFLUPS: 0}); err == nil {
 		t.Error("want error for zero MFLUPS")
 	}
-	if err := st.Add(Sample{Time: 1, MFLUPS: 5}); err == nil {
+	if err := st.Add(Sample{TimeS: 1, MFLUPS: 5}); err == nil {
 		t.Error("want error for missing identity")
 	}
 	if err := st.Add(sample(10, 50)); err != nil {
@@ -39,7 +39,7 @@ func TestSeriesAndConfigurations(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	other := Sample{Time: 10, Workload: "cyl", System: "TRC", Ranks: 8, MFLUPS: 99}
+	other := Sample{TimeS: 10, Workload: "cyl", System: "TRC", Ranks: 8, MFLUPS: 99}
 	if err := st.Add(other); err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestDetectRegressions(t *testing.T) {
 		t.Fatalf("detected %d regressions, want 1", len(regs))
 	}
 	r := regs[0]
-	if r.Latest != 30 || math.Abs(r.Baseline-50) > 0.5 {
+	if r.LatestMFLUPS != 30 || math.Abs(r.BaselineMFLUPS-50) > 0.5 {
 		t.Errorf("regression fields wrong: %+v", r)
 	}
 	if r.Sigmas < 3 {

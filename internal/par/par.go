@@ -86,15 +86,31 @@ type recvPlan struct {
 	n    int
 }
 
+// Clock abstracts the wall clock behind the per-rank timing split.
+// Production runs measure real time; deterministic harnesses (and the
+// fleet scheduler's simulated instances) inject a virtual clock so the
+// same seed always yields the same RankStats.
+type Clock func() time.Time
+
 // Runner executes a partitioned simulation.
 type Runner struct {
 	ranks  []*rank
 	params lbm.Params
 	steps  int
+	now    Clock
 
 	// site lookup for result readback: serial site -> (rank, local index)
 	ownerOf []int32
 	localOf []int32
+}
+
+// SetClock replaces the wall clock used for the compute/communication
+// timing split. Passing nil restores time.Now.
+func (r *Runner) SetClock(c Clock) {
+	if c == nil {
+		c = time.Now
+	}
+	r.now = c
 }
 
 // NewRunner builds per-rank state from the serial engine s (its current
@@ -105,6 +121,7 @@ func NewRunner(s *lbm.Sparse, p *decomp.Partition) (*Runner, error) {
 	}
 	r := &Runner{
 		params:  s.Params,
+		now:     time.Now,
 		ownerOf: make([]int32, s.N()),
 		localOf: make([]int32, s.N()),
 	}
@@ -244,7 +261,7 @@ func (r *Runner) Run(steps int) {
 		go func(rk *rank) {
 			defer wg.Done()
 			for k := 0; k < steps; k++ {
-				rk.step(r.params, base+k)
+				rk.step(r.params, base+k, r.now)
 			}
 		}(rk)
 	}
@@ -254,10 +271,10 @@ func (r *Runner) Run(steps int) {
 
 // step is one rank-local timestep: collide, exchange halos, stream, apply
 // boundary conditions — arithmetic identical to lbm.Sparse.Step.
-func (rk *rank) step(p lbm.Params, stepIndex int) {
+func (rk *rank) step(p lbm.Params, stepIndex int, now Clock) {
 	fx, fy, fz := p.Force[0], p.Force[1], p.Force[2]
 	n := len(rk.own)
-	tick := time.Now()
+	tick := now()
 
 	var cell [lbm.NQ]float64
 	for i := 0; i < n; i++ {
@@ -267,8 +284,8 @@ func (rk *rank) step(p lbm.Params, stepIndex int) {
 		copy(rk.f[base:base+lbm.NQ], cell[:])
 	}
 
-	rk.computeNS += time.Since(tick).Nanoseconds()
-	tick = time.Now()
+	rk.computeNS += now().Sub(tick).Nanoseconds()
+	tick = now()
 
 	// Post-collision halo exchange.
 	for _, sp := range rk.sendTo {
@@ -283,8 +300,8 @@ func (rk *rank) step(p lbm.Params, stepIndex int) {
 		copy(rk.recv[rp.base:rp.base+rp.n], msg)
 	}
 
-	rk.commNS += time.Since(tick).Nanoseconds()
-	tick = time.Now()
+	rk.commNS += now().Sub(tick).Nanoseconds()
+	tick = now()
 
 	// Pull streaming.
 	for i := 0; i < n; i++ {
@@ -321,7 +338,7 @@ func (rk *rank) step(p lbm.Params, stepIndex int) {
 	}
 
 	rk.f, rk.fnew = rk.fnew, rk.f
-	rk.computeNS += time.Since(tick).Nanoseconds()
+	rk.computeNS += now().Sub(tick).Nanoseconds()
 }
 
 // Stats returns the measured per-rank compute/communication split since

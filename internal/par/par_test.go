@@ -3,6 +3,7 @@ package par
 import (
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/decomp"
 	"repro/internal/geometry"
@@ -205,6 +206,76 @@ func TestRunnerStats(t *testing.T) {
 		// With 4 ranks exchanging halos every step, communication happens.
 		if s.CommS == 0 {
 			t.Errorf("rank %d recorded no communication", s.Rank)
+		}
+	}
+}
+
+// TestInjectedClockDeterministicStats pins the injectable-clock
+// contract from two angles. A single-rank run with a tick-per-reading
+// fake clock yields an exact, reproducible compute/communication
+// split: step() reads the clock six times per step, so each step books
+// exactly 2ms of compute and 1ms of communication under a
+// 1ms-per-reading clock. A multi-rank run with a constant clock yields
+// exactly zero times on every rank — no wall-clock noise can leak in —
+// and therefore byte-identical Stats across repeated runs regardless
+// of goroutine scheduling.
+func TestInjectedClockDeterministicStats(t *testing.T) {
+	dom, err := geometry.Cylinder(20, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runner := setup(t, dom, lbm.Params{Tau: 0.9, PeriodicX: true, Force: [3]float64{1e-5, 0, 0}}, 1)
+	var ticks int64 // single rank: the clock is read from one goroutine
+	runner.SetClock(func() time.Time {
+		ticks++
+		return time.Unix(0, ticks*int64(time.Millisecond))
+	})
+	const steps = 10
+	runner.Run(steps)
+	for _, s := range runner.Stats() {
+		if want := steps * 2e-3; math.Abs(s.ComputeS-want) > 1e-12 {
+			t.Errorf("rank %d ComputeS = %g, want %g", s.Rank, s.ComputeS, want)
+		}
+		if want := steps * 1e-3; math.Abs(s.CommS-want) > 1e-12 {
+			t.Errorf("rank %d CommS = %g, want %g", s.Rank, s.CommS, want)
+		}
+	}
+
+	frozen := time.Unix(42, 0)
+	run := func() []RankStats {
+		dom, err := geometry.Cylinder(20, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, r := setup(t, dom, lbm.Params{Tau: 0.9, PeriodicX: true, Force: [3]float64{1e-5, 0, 0}}, 4)
+		r.SetClock(func() time.Time { return frozen })
+		r.Run(steps)
+		return r.Stats()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d stats differ across identical frozen-clock runs:\n got %+v\nwant %+v", i, b[i], a[i])
+		}
+		if a[i].ComputeS != 0 || a[i].CommS != 0 {
+			t.Fatalf("rank %d booked nonzero time under a frozen clock: %+v", i, a[i])
+		}
+	}
+}
+
+// TestSetClockNilRestoresWallClock ensures SetClock(nil) falls back to
+// time.Now rather than panicking mid-run.
+func TestSetClockNilRestoresWallClock(t *testing.T) {
+	dom, err := geometry.Cylinder(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runner := setup(t, dom, lbm.Params{Tau: 0.9, PeriodicX: true, Force: [3]float64{1e-5, 0, 0}}, 2)
+	runner.SetClock(nil)
+	runner.Run(2)
+	for _, s := range runner.Stats() {
+		if s.ComputeS < 0 || s.CommS < 0 {
+			t.Fatalf("negative time with wall clock: %+v", s)
 		}
 	}
 }

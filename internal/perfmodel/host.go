@@ -84,9 +84,9 @@ func HostSystem(c *Characterization) *machine.System {
 			A1: c.Mem.A1, A2: c.Mem.A2, A3: c.Mem.A3,
 			HTEfficiency: 1,
 		},
-		InterNode:        c.Inter,
-		IntraNode:        c.Intra,
-		NoiseCV:          0.02,
-		PricePerNodeHour: 0,
+		InterNode:           c.Inter,
+		IntraNode:           c.Intra,
+		NoiseCV:             0.02,
+		PricePerNodeHourUSD: 0,
 	}
 }

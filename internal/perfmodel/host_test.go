@@ -22,7 +22,7 @@ func TestCharacterizeHost(t *testing.T) {
 	}
 	// The wrapped system is usable by the simulator's placement logic.
 	sys := HostSystem(c)
-	if sys.MaxRanks() != c.TotalCores || sys.PricePerNodeHour != 0 {
+	if sys.MaxRanks() != c.TotalCores || sys.PricePerNodeHourUSD != 0 {
 		t.Errorf("host system wrap wrong: %+v", sys)
 	}
 	if sys.JobCost(1, 3600) != 0 {

@@ -90,8 +90,8 @@ func ConstantTerm(name string, seconds float64) Term {
 
 // Observation pairs a workload with its measured throughput.
 type Observation struct {
-	Workload simcloud.Workload
-	Measured float64 // MFLUPS
+	Workload       simcloud.Workload
+	MeasuredMFLUPS float64
 }
 
 // SelectionResult reports the outcome of the feedback loop.
@@ -121,7 +121,7 @@ func (c *Characterization) SelectTerms(candidates []Term, obs []Observation, min
 		if err != nil {
 			return SelectionResult{}, err
 		}
-		if o.Measured <= 0 {
+		if o.MeasuredMFLUPS <= 0 {
 			return SelectionResult{}, fmt.Errorf("perfmodel: observation %d has non-positive measurement", i)
 		}
 		bases[i] = p
@@ -134,7 +134,7 @@ func (c *Characterization) SelectTerms(candidates []Term, obs []Observation, min
 				t += term.Eval(o.Workload, bases[i])
 			}
 			pred := float64(o.Workload.Points) / t / 1e6
-			sum += math.Abs(pred-o.Measured) / o.Measured
+			sum += math.Abs(pred-o.MeasuredMFLUPS) / o.MeasuredMFLUPS
 		}
 		return sum / float64(len(obs))
 	}

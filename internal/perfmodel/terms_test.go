@@ -25,7 +25,7 @@ func observations(t *testing.T, s *lbm.Sparse, sys *machine.System, ranks []int)
 		if err != nil {
 			t.Fatal(err)
 		}
-		obs = append(obs, Observation{Workload: w, Measured: res.MFLUPS})
+		obs = append(obs, Observation{Workload: w, MeasuredMFLUPS: res.MFLUPS})
 	}
 	return obs
 }
@@ -92,7 +92,7 @@ func TestSelectTermsValidation(t *testing.T) {
 	if _, err := c.SelectTerms(nil, obs, -1); err == nil {
 		t.Error("want error for negative threshold")
 	}
-	bad := []Observation{{Workload: obs[0].Workload, Measured: 0}}
+	bad := []Observation{{Workload: obs[0].Workload, MeasuredMFLUPS: 0}}
 	if _, err := c.SelectTerms(nil, bad, 0.01); err == nil {
 		t.Error("want error for non-positive measurement")
 	}

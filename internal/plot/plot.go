@@ -73,9 +73,11 @@ func Render(series []Series, opt Options) string {
 	if minX > maxX || minY > maxY {
 		return "(no finite data to plot)\n"
 	}
+	//lint:ignore floateq exact degenerate-range guard before computing a scale
 	if maxX == minX {
 		maxX = minX + 1
 	}
+	//lint:ignore floateq exact degenerate-range guard before computing a scale
 	if maxY == minY {
 		maxY = minY + 1
 	}
