@@ -40,9 +40,9 @@ func main() {
 
 	if *diameter > 0 && *speed > 0 {
 		conv, err := units.Convert(units.Physical{
-			DiameterM:   *diameter * 1e-3,
-			PeakSpeedMS: *speed,
-			HeartRateHz: *heartRate,
+			DiameterM:    *diameter * 1e-3,
+			PeakSpeedMps: *speed,
+			HeartRateHz:  *heartRate,
 		}, units.Lattice{SitesAcross: int(2 * *scale), Tau: 0.9})
 		fatal(err)
 		fmt.Printf("physical problem: %s\n", conv)

@@ -1,19 +1,23 @@
 // Command lint runs the repository's static-analysis suite
 // (internal/analyzers) over one or more package patterns and fails on
 // findings that are neither suppressed in-source nor grandfathered in
-// the baseline file.
+// the baseline file. The suite has two layers — syntactic checks built
+// on go/ast and semantic checks built on go/types — and both run by
+// default.
 //
 // Usage:
 //
 //	go run ./cmd/lint [flags] [patterns]
 //
-//	-checks nodeterm,floateq   run a subset of checks (default: all)
+//	-checks nodeterm,unitflow  run a subset of checks (default: all)
 //	-baseline FILE             baseline of grandfathered findings
 //	                           (default .lint-baseline.json; a missing
 //	                           file means an empty baseline)
 //	-write-baseline            rewrite the baseline from current
 //	                           findings and exit 0
-//	-json                      emit findings as a JSON array
+//	-format text|json|github   output format; github emits ::error
+//	                           workflow annotations for inline PR review
+//	-json                      shorthand for -format=json
 //	-list                      list available checks and exit
 //
 // Patterns are directories or go-style recursive patterns such as
@@ -44,15 +48,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		checksFlag    = fs.String("checks", "", "comma-separated check IDs to run (default: all)")
 		baselineFlag  = fs.String("baseline", ".lint-baseline.json", "baseline file of grandfathered findings")
 		writeBaseline = fs.Bool("write-baseline", false, "rewrite the baseline from current findings")
-		jsonFlag      = fs.Bool("json", false, "emit findings as JSON")
+		formatFlag    = fs.String("format", "text", "output format: text, json or github")
+		jsonFlag      = fs.Bool("json", false, "emit findings as JSON (same as -format=json)")
 		listFlag      = fs.Bool("list", false, "list available checks and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	format := *formatFlag
+	if *jsonFlag {
+		format = "json"
+	}
+	switch format {
+	case "text", "json", "github":
+	default:
+		fmt.Fprintf(stderr, "lint: unknown format %q (want text, json or github)\n", format)
+		return 2
+	}
 
 	if *listFlag {
 		for _, c := range analyzers.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", c.ID, c.Doc)
+		}
+		for _, c := range analyzers.AllTyped() {
 			fmt.Fprintf(stdout, "%-12s %s\n", c.ID, c.Doc)
 		}
 		return 0
@@ -64,17 +82,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	checks, err := analyzers.Select(ids)
+	sel, err := analyzers.SelectAll(ids)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
-	res, err := analyzers.Run(fs.Args(), checks)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 2
+	var res analyzers.Result
+	if len(sel.Syntactic) > 0 {
+		res, err = analyzers.Run(fs.Args(), sel.Syntactic)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
 	}
+	if len(sel.Typed) > 0 {
+		tres, err := analyzers.RunTyped(fs.Args(), sel.Typed)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		res.Diags = append(res.Diags, tres.Diags...)
+		if tres.Files > res.Files {
+			res.Files = tres.Files
+		}
+	}
+	analyzers.Sort(res.Diags)
 
 	if *writeBaseline {
 		b := analyzers.NewBaseline(res.Diags)
@@ -93,7 +126,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fresh, stale := baseline.Apply(res.Diags)
 
-	if *jsonFlag {
+	switch format {
+	case "json":
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if fresh == nil {
@@ -103,7 +137,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-	} else {
+	case "github":
+		for _, d := range fresh {
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d::%s\n",
+				ghProperty(d.File), d.Line, d.Col, ghMessage(fmt.Sprintf("[%s] %s", d.Check, d.Message)))
+		}
+		fmt.Fprintf(stdout, "lint: %d file(s), %d finding(s) (%d baselined, %d stale baseline entries)\n",
+			res.Files, len(fresh), len(res.Diags)-len(fresh), len(stale))
+	default:
 		for _, d := range fresh {
 			fmt.Fprintln(stdout, d)
 		}
@@ -118,4 +159,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// ghMessage escapes a workflow-annotation message per the GitHub
+// Actions command syntax.
+func ghMessage(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// ghProperty escapes a workflow-annotation property value.
+func ghProperty(s string) string {
+	s = ghMessage(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
 }

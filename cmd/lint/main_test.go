@@ -24,7 +24,10 @@ func TestListFlag(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, want 0", code)
 	}
-	for _, id := range []string{"nodeterm", "unitsuffix", "floateq", "droppederr", "lockbalance", "gorleak"} {
+	for _, id := range []string{
+		"nodeterm", "unitsuffix", "floateq", "droppederr", "lockbalance", "gorleak",
+		"unitflow", "typeassert", "lossyconv",
+	} {
 		if !strings.Contains(out, id) {
 			t.Errorf("-list output missing %q", id)
 		}
@@ -65,6 +68,51 @@ func TestJSONOutput(t *testing.T) {
 	}
 	if len(diags) != 2 {
 		t.Fatalf("got %d findings, want 2", len(diags))
+	}
+}
+
+func TestGitHubFormat(t *testing.T) {
+	code, out, _ := runLint("-checks", "gorleak", "-format", "github", gorleakFixture)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	// The fixture path contains no characters needing property escaping,
+	// so the annotation must carry it verbatim alongside line and column.
+	if !strings.Contains(out, "::error file=") || !strings.Contains(out, ",line=") {
+		t.Errorf("-format=github output carries no workflow annotations:\n%s", out)
+	}
+	if !strings.Contains(out, "[gorleak]") {
+		t.Errorf("annotation message does not name the check:\n%s", out)
+	}
+}
+
+func TestGitHubEscaping(t *testing.T) {
+	if got := ghMessage("50% done\nnext"); got != "50%25 done%0Anext" {
+		t.Errorf("ghMessage = %q", got)
+	}
+	if got := ghProperty("a:b,c%d"); got != "a%3Ab%2Cc%25d" {
+		t.Errorf("ghProperty = %q", got)
+	}
+}
+
+func TestUnknownFormatIsUsageError(t *testing.T) {
+	code, _, errOut := runLint("-format", "yaml", gorleakFixture)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "unknown format") {
+		t.Errorf("stderr %q does not name the unknown format", errOut)
+	}
+}
+
+func TestTypedCheckSelection(t *testing.T) {
+	dirty := filepath.Join("..", "..", "internal", "analyzers", "testdata", "typeassert", "dirty")
+	code, out, _ := runLint("-checks", "typeassert", dirty)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "bare type assertion") {
+		t.Errorf("typed findings missing from output:\n%s", out)
 	}
 }
 

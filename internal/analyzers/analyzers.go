@@ -5,10 +5,11 @@
 // float comparisons, no silently dropped errors, balanced mutexes, and
 // joined goroutines — as machine-checked rules instead of convention.
 //
-// The suite is built directly on go/ast, go/parser and go/token so the
-// module stays buildable offline with no external dependencies. Checks
-// are purely syntactic (no go/types), which keeps them fast and
-// dependency-free at the cost of a little precision; every check
+// The suite is stdlib-only so the module stays buildable offline with
+// no external dependencies, and has two layers: syntactic checks built
+// directly on go/ast, go/parser and go/token (Check, Run), and semantic
+// checks built on go/types (TypedCheck, RunTyped) fed by a loader that
+// type-checks the module from source. Every check in either layer
 // supports targeted suppression via
 //
 //	//lint:ignore <check> <reason>
@@ -119,6 +120,10 @@ func Select(ids []string) ([]Check, error) {
 	}
 	return out, nil
 }
+
+// Sort orders diagnostics for stable output (file, line, col, check).
+// The driver uses it after merging the syntactic and typed runs.
+func Sort(ds []Diagnostic) { sortDiags(ds) }
 
 // sortDiags orders diagnostics for stable output: file, line, col,
 // check.

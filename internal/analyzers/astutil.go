@@ -27,6 +27,8 @@ func exprString(e ast.Expr) string {
 		return e.Value
 	case *ast.CallExpr:
 		return exprString(e.Fun) + "()"
+	case *ast.BinaryExpr:
+		return exprString(e.X) + e.Op.String() + exprString(e.Y)
 	}
 	return "?"
 }

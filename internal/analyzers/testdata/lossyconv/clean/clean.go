@@ -1,0 +1,20 @@
+// Package lossyconvclean holds the conversions the lossyconv check
+// must accept: widening, integer-to-float, and conversions of untagged
+// quantities such as loop indices.
+package lossyconvclean
+
+func widens(msgBytes int32) int64 {
+	return int64(msgBytes)
+}
+
+func toFloat(haloBytes int) float64 {
+	return float64(haloBytes)
+}
+
+func untagged(index int) int32 {
+	return int32(index)
+}
+
+func sameWidth(eventCount int64) int {
+	return int(eventCount)
+}

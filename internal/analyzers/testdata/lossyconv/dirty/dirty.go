@@ -1,0 +1,19 @@
+// Package lossyconvdirty is the golden dirty fixture for the lossyconv
+// check: each lossy shape applied to a byte- or halo-count quantity.
+package lossyconvdirty
+
+func truncates(haloBytes float64) int {
+	return int(haloBytes)
+}
+
+func narrows(msgBytes int64) int32 {
+	return int32(msgBytes)
+}
+
+func flipsSign(eventCount int) uint64 {
+	return uint64(eventCount)
+}
+
+func throughArithmetic(sendBytes, recvBytes int64) int32 {
+	return int32(sendBytes + recvBytes)
+}

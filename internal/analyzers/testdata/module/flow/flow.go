@@ -1,0 +1,8 @@
+// Package flow consumes unitmod/stat across the module-internal
+// package boundary the loader must resolve itself.
+package flow
+
+import "unitmod/stat"
+
+// Window is the elapsed time of one sampling window.
+func Window(beginUS, endUS float64) stat.Micros { return stat.Span(beginUS, endUS) }

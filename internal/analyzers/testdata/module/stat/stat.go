@@ -1,0 +1,9 @@
+// Package stat declares the named unit types the loader test resolves
+// across a package boundary inside a synthetic module.
+package stat
+
+// Micros is a duration in microseconds.
+type Micros float64
+
+// Span converts a pair of raw timestamps to an elapsed duration.
+func Span(startUS, endUS float64) Micros { return Micros(endUS - startUS) }

@@ -1,0 +1,31 @@
+// Package typeassertclean holds the assertion forms the typeassert
+// check must accept: comma-ok assignments and declarations, and the
+// type-switch guard.
+package typeassertclean
+
+func commaOkAssign(v any) string {
+	s, ok := v.(string)
+	if !ok {
+		return ""
+	}
+	return s
+}
+
+func commaOkDecl(v any) int {
+	var n, ok = v.(int)
+	if !ok {
+		return 0
+	}
+	return n
+}
+
+func typeSwitch(v any) int {
+	switch x := v.(type) {
+	case int:
+		return x
+	case string:
+		return len(x)
+	default:
+		return 0
+	}
+}

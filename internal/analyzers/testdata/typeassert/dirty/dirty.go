@@ -1,0 +1,27 @@
+// Package typeassertdirty is the golden dirty fixture for the
+// typeassert check: a bare single-result assertion in each syntactic
+// context the diagnostic names.
+package typeassertdirty
+
+import "fmt"
+
+func asReturn(v any) string {
+	return v.(string)
+}
+
+func asArgument(v any) {
+	fmt.Println(v.(int))
+}
+
+func asAssignment(v any) string {
+	var s string
+	s = v.(string)
+	return s
+}
+
+func asExpression(v any) bool {
+	if v.(int) > 0 {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,43 @@
+// Package unitflowclean holds the idioms the unitflow check must
+// accept: deliberate scale conversions, dimension-changing arithmetic
+// stored under the dimension it produces, named unit types from another
+// package (exercising the module-internal importer), and same-unit
+// comparisons.
+package unitflowclean
+
+import "repro/internal/units"
+
+// Literal scale factors erase the exact scale but keep the dimension,
+// so converting microseconds to seconds by hand is fine.
+func literalConversion(latencyUS float64) float64 {
+	waitS := latencyUS * 1e-6
+	return waitS
+}
+
+// The sanctioned helpers carry the target unit in their name.
+func helperConversion(latencyUS float64) float64 {
+	waitS := units.MicrosToSeconds(latencyUS)
+	return waitS
+}
+
+// rate × time legitimately produces data.
+func transferred(rateMBps, windowS float64) float64 {
+	totalMB := rateMBps * windowS
+	return totalMB
+}
+
+// data / rate legitimately produces time.
+func moveTime(payloadBytes, linkMBps float64) float64 {
+	waitS := payloadBytes / linkMBps
+	return waitS
+}
+
+// Named unit types round-trip through their own conversion methods.
+func typedConversion(d units.Seconds) units.Micros {
+	return d.Micros()
+}
+
+// Comparing like against like is the whole point.
+func within(budgetUSD, spentUSD float64) bool {
+	return spentUSD <= budgetUSD
+}

@@ -1,0 +1,342 @@
+package analyzers
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the typed half of the suite: a stdlib-only loader that
+// builds full go/types information for every package on the lint
+// surface, and the TypedCheck registration that parallels Check. The
+// loader resolves standard-library imports through the source importer
+// (importer.ForCompiler(fset, "source", nil)) and module-internal
+// imports itself, by walking up to go.mod, mapping the import path to a
+// directory and type-checking that directory recursively — the piece
+// the source importer cannot do in module mode.
+
+// TypedPackage is one fully type-checked package.
+type TypedPackage struct {
+	Dir   string // directory as walked, the prefix of diagnostic paths
+	Path  string // import path within the enclosing module
+	Fset  *token.FileSet
+	Files []*TypedFile
+	Types *types.Package
+	Info  *types.Info
+}
+
+// TypedFile is the per-file context handed to semantic checks: the
+// syntactic File plus the type information of its package.
+type TypedFile struct {
+	File
+	Package *TypedPackage
+}
+
+// TypedCheck is a semantic analyzer. It mirrors Check — same ID
+// namespace, same suppression and baseline machinery — but its run
+// function sees full type information.
+type TypedCheck struct {
+	ID  string
+	Doc string
+	Run func(f *TypedFile) []Diagnostic
+}
+
+// AllTyped returns every registered semantic check, sorted by ID.
+func AllTyped() []TypedCheck {
+	cs := []TypedCheck{
+		checkLossyConv(),
+		checkTypeAssert(),
+		checkUnitFlow(),
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].ID < cs[j].ID })
+	return cs
+}
+
+// Selection names the checks of one lint run across both layers.
+type Selection struct {
+	Syntactic []Check
+	Typed     []TypedCheck
+}
+
+// SelectAll resolves check IDs across the syntactic and typed suites
+// (all checks of both when ids is empty), or returns an error naming
+// any unknown ID.
+func SelectAll(ids []string) (Selection, error) {
+	if len(ids) == 0 {
+		return Selection{Syntactic: All(), Typed: AllTyped()}, nil
+	}
+	syn := map[string]Check{}
+	for _, c := range All() {
+		syn[c.ID] = c
+	}
+	typ := map[string]TypedCheck{}
+	for _, c := range AllTyped() {
+		typ[c.ID] = c
+	}
+	var sel Selection
+	for _, id := range ids {
+		if c, ok := syn[id]; ok {
+			sel.Syntactic = append(sel.Syntactic, c)
+			continue
+		}
+		if c, ok := typ[id]; ok {
+			sel.Typed = append(sel.Typed, c)
+			continue
+		}
+		return Selection{}, fmt.Errorf("analyzers: unknown check %q", id)
+	}
+	return sel, nil
+}
+
+// Load type-checks the directories matched by the given package
+// patterns (same pattern language and skip rules as Run) and returns
+// one TypedPackage per directory, sorted by directory.
+func Load(patterns []string) ([]*TypedPackage, error) {
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader()
+	var pkgs []*TypedPackage
+	for _, dir := range dirs {
+		p, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// RunTyped is Run for semantic checks: it loads the matched packages
+// with full type information and lints every file, honoring the same
+// //lint:ignore directives. Malformed directives are not re-reported
+// here; the syntactic run owns badignore.
+func RunTyped(patterns []string, checks []TypedCheck) (Result, error) {
+	pkgs, err := Load(patterns)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			res.Diags = append(res.Diags, LintTypedFile(f, checks)...)
+			res.Files++
+		}
+	}
+	sortDiags(res.Diags)
+	return res, nil
+}
+
+// LintTypedFile runs the semantic checks over one loaded file and
+// applies its suppression directives. Exposed for the golden tests.
+func LintTypedFile(f *TypedFile, checks []TypedCheck) []Diagnostic {
+	dirs, _ := parseIgnores(&f.File)
+	var diags []Diagnostic
+	for _, c := range checks {
+		diags = append(diags, c.Run(f)...)
+	}
+	diags = suppress(diags, dirs)
+	sortDiags(diags)
+	return diags
+}
+
+// module is one enclosing module: its root directory and module path.
+type module struct {
+	root string // absolute
+	path string
+}
+
+// loader memoizes type-checked packages across one Load/RunTyped call
+// so shared dependencies are checked once.
+type loader struct {
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*TypedPackage // by absolute directory
+	loading map[string]bool
+	mods    map[string]*module // by absolute directory
+}
+
+func newLoader() *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*TypedPackage{},
+		loading: map[string]bool{},
+		mods:    map[string]*module{},
+	}
+}
+
+// moduleFor finds the module enclosing an absolute directory by walking
+// up to the nearest go.mod.
+func (l *loader) moduleFor(abs string) (*module, error) {
+	if m, ok := l.mods[abs]; ok {
+		return m, nil
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err == nil {
+		path := modulePath(data)
+		if path == "" {
+			return nil, fmt.Errorf("analyzers: %s has no module line", filepath.Join(abs, "go.mod"))
+		}
+		m := &module{root: abs, path: path}
+		l.mods[abs] = m
+		return m, nil
+	}
+	parent := filepath.Dir(abs)
+	if parent == abs {
+		return nil, fmt.Errorf("analyzers: no go.mod found above %s", abs)
+	}
+	m, err := l.moduleFor(parent)
+	if err != nil {
+		return nil, err
+	}
+	l.mods[abs] = m
+	return m, nil
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(gomod []byte) string {
+	sc := bufio.NewScanner(bytes.NewReader(gomod))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// loadDir parses and type-checks the lintable files of one directory.
+func (l *loader) loadDir(dir string) (*TypedPackage, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: %w", err)
+	}
+	if p, ok := l.pkgs[abs]; ok {
+		return p, nil
+	}
+	if l.loading[abs] {
+		return nil, fmt.Errorf("analyzers: import cycle through %s", dir)
+	}
+	l.loading[abs] = true
+	defer delete(l.loading, abs)
+
+	mod, err := l.moduleFor(abs)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(mod.root, abs)
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: %w", err)
+	}
+	importPath := mod.path
+	if rel != "." {
+		importPath = mod.path + "/" + filepath.ToSlash(rel)
+	}
+
+	// Diagnostics carry dir verbatim, so prefer a working-directory-
+	// relative rendering even when the package was first reached through
+	// the importer (which resolves by absolute path): workflow
+	// annotations and baselines need paths that mean something outside
+	// this machine.
+	display := dir
+	if filepath.IsAbs(display) {
+		if wd, err := os.Getwd(); err == nil {
+			if rel, err := filepath.Rel(wd, display); err == nil && rel != ".." &&
+				!strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+				display = rel
+			}
+		}
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: %w", err)
+	}
+	var paths []string
+	var asts []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !lintableFile(e.Name()) {
+			continue
+		}
+		path := filepath.Join(display, e.Name())
+		af, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analyzers: %w", err)
+		}
+		paths = append(paths, path)
+		asts = append(asts, af)
+	}
+	if len(asts) == 0 {
+		return nil, fmt.Errorf("analyzers: no lintable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: &modImporter{l: l, mod: mod}}
+	tpkg, err := conf.Check(importPath, l.fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: type-checking %s: %w", dir, err)
+	}
+
+	p := &TypedPackage{Dir: display, Path: importPath, Fset: l.fset, Types: tpkg, Info: info}
+	for i := range asts {
+		p.Files = append(p.Files, &TypedFile{
+			File: File{
+				Fset:     l.fset,
+				AST:      asts[i],
+				Path:     paths[i],
+				Pkg:      asts[i].Name.Name,
+				Siblings: asts,
+			},
+			Package: p,
+		})
+	}
+	l.pkgs[abs] = p
+	return p, nil
+}
+
+// modImporter resolves the imports of one package: module-internal
+// paths map to directories under the module root and are type-checked
+// from source by the loader; everything else is delegated to the
+// standard-library source importer.
+type modImporter struct {
+	l   *loader
+	mod *module
+}
+
+func (m *modImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == m.mod.path {
+		p, err := m.l.loadDir(m.mod.root)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if sub, ok := strings.CutPrefix(path, m.mod.path+"/"); ok {
+		p, err := m.l.loadDir(filepath.Join(m.mod.root, filepath.FromSlash(sub)))
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return m.l.std.Import(path)
+}

@@ -58,17 +58,24 @@ var suffixesByLength = func() []string {
 // match S (the preceding rune is upper case, so S is part of a larger
 // word), and Steps does not match anything (lower-case tail).
 func unitOf(name string) string {
-	for _, suf := range suffixesByLength {
+	return suffixUnit(name, suffixesByLength, unitSuffixes)
+}
+
+// suffixUnit implements the camel-boundary suffix lookup of unitOf for
+// an arbitrary suffix table (the typed unitflow check extends the
+// syntactic vocabulary without changing it).
+func suffixUnit(name string, suffixes []string, units map[string]string) string {
+	for _, suf := range suffixes {
 		if !strings.HasSuffix(name, suf) {
 			continue
 		}
 		rest := name[:len(name)-len(suf)]
 		if rest == "" {
-			return unitSuffixes[suf]
+			return units[suf]
 		}
 		last := rest[len(rest)-1]
 		if last >= 'a' && last <= 'z' || last >= '0' && last <= '9' {
-			return unitSuffixes[suf]
+			return units[suf]
 		}
 	}
 	return ""

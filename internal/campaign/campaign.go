@@ -25,11 +25,11 @@ import (
 // pulsatile waveform) through internal/units instead of requiring the
 // user to think in lattice quantities.
 type PhysicalConfig struct {
-	DiameterMM  float64 `json:"diameter_mm"`
-	PeakSpeedMS float64 `json:"peak_speed_ms"`
-	HeartRateHz float64 `json:"heart_rate_hz,omitempty"` // 0 = steady
-	SitesAcross int     `json:"sites_across"`            // lattice resolution
-	Beats       float64 `json:"beats"`                   // cardiac cycles to simulate
+	DiameterMM   float64 `json:"diameter_mm"`
+	PeakSpeedMps float64 `json:"peak_speed_ms"`
+	HeartRateHz  float64 `json:"heart_rate_hz,omitempty"` // 0 = steady
+	SitesAcross  int     `json:"sites_across"`            // lattice resolution
+	Beats        float64 `json:"beats"`                   // cardiac cycles to simulate
 }
 
 // JobConfig declares one patient case, either in lattice terms (Scale +
@@ -121,7 +121,7 @@ func (c *Config) Validate() error {
 				return fmt.Errorf("campaign: job %q sets both physical and lattice quantities", j.Name)
 			}
 			ph := j.Physical
-			if ph.DiameterMM <= 0 || ph.PeakSpeedMS <= 0 || ph.SitesAcross < 8 || ph.Beats <= 0 {
+			if ph.DiameterMM <= 0 || ph.PeakSpeedMps <= 0 || ph.SitesAcross < 8 || ph.Beats <= 0 {
 				return fmt.Errorf("campaign: job %q has incomplete physical spec %+v", j.Name, ph)
 			}
 			//lint:ignore floateq 0 is the documented steady-flow sentinel, never a computed value
@@ -205,7 +205,7 @@ func resolve(j JobConfig) (scale float64, steps int, params lbm.Params, warnings
 	// timestep and thus the velocity scale). Coarse grids at high
 	// Reynolds push tau toward 1/2; the TRT operator keeps those stable.
 	const targetU = 0.05
-	re := ph.PeakSpeedMS * ph.DiameterMM * 1e-3 / units.BloodKinematicViscosity
+	re := ph.PeakSpeedMps * ph.DiameterMM * 1e-3 / units.BloodKinematicViscosity
 	nuLat := targetU * float64(ph.SitesAcross) / re
 	tau := 3*nuLat + 0.5
 	switch {
@@ -222,9 +222,9 @@ func resolve(j JobConfig) (scale float64, steps int, params lbm.Params, warnings
 	params.Tau = tau
 
 	conv, err := units.Convert(units.Physical{
-		DiameterM:   ph.DiameterMM * 1e-3,
-		PeakSpeedMS: ph.PeakSpeedMS,
-		HeartRateHz: ph.HeartRateHz,
+		DiameterM:    ph.DiameterMM * 1e-3,
+		PeakSpeedMps: ph.PeakSpeedMps,
+		HeartRateHz:  ph.HeartRateHz,
 	}, units.Lattice{SitesAcross: ph.SitesAcross, Tau: params.Tau})
 	if err != nil {
 		return 0, 0, params, nil, fmt.Errorf("campaign: job %q units: %w", j.Name, err)
@@ -237,7 +237,7 @@ func resolve(j JobConfig) (scale float64, steps int, params lbm.Params, warnings
 		steps = int(ph.Beats * conv.StepsPerBeat)
 	} else {
 		// Steady flow: "beats" counts flow-through times D/U.
-		flowThrough := ph.DiameterMM * 1e-3 / ph.PeakSpeedMS
+		flowThrough := ph.DiameterMM * 1e-3 / ph.PeakSpeedMps
 		steps = conv.StepsForPhysicalTime(ph.Beats * flowThrough)
 	}
 	if steps < 1 {

@@ -157,7 +157,7 @@ func TestPhysicalJobConfig(t *testing.T) {
 			Name: "coronary", Geometry: "cylinder", Ranks: 16,
 			System: "CSP-2 Small",
 			Physical: &PhysicalConfig{
-				DiameterMM: 3, PeakSpeedMS: 0.3, HeartRateHz: 1.2,
+				DiameterMM: 3, PeakSpeedMps: 0.3, HeartRateHz: 1.2,
 				SitesAcross: 16, Beats: 0.002,
 			},
 		}},
@@ -197,7 +197,7 @@ func TestPhysicalJobConfig(t *testing.T) {
 func TestPhysicalConfigValidation(t *testing.T) {
 	base := JobConfig{
 		Name: "x", Geometry: "cylinder", Ranks: 4,
-		Physical: &PhysicalConfig{DiameterMM: 3, PeakSpeedMS: 0.3, SitesAcross: 16, Beats: 1},
+		Physical: &PhysicalConfig{DiameterMM: 3, PeakSpeedMps: 0.3, SitesAcross: 16, Beats: 1},
 	}
 	mix := base
 	mix.Scale = 8 // both physical and lattice set
@@ -212,7 +212,7 @@ func TestPhysicalConfigValidation(t *testing.T) {
 		t.Error("want error for incomplete physical spec")
 	}
 	steady := base
-	steady.Physical = &PhysicalConfig{DiameterMM: 3, PeakSpeedMS: 0.3, SitesAcross: 16, Beats: 5}
+	steady.Physical = &PhysicalConfig{DiameterMM: 3, PeakSpeedMps: 0.3, SitesAcross: 16, Beats: 5}
 	_, steps, params, _, err := resolve(steady)
 	if err != nil {
 		t.Fatal(err)

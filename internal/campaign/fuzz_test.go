@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/fleet"
 )
 
 // FuzzParseCampaign throws arbitrary bytes at the campaign config
@@ -85,6 +87,68 @@ func FuzzParseCampaign(f *testing.F) {
 		}
 		if !reflect.DeepEqual(cfg, again) {
 			t.Fatalf("round trip drifted:\n first: %+v\nsecond: %+v", cfg, again)
+		}
+	})
+}
+
+// FuzzParseFleet throws arbitrary bytes at the fleet-section parser.
+// Decoding must never panic; when a declaration validates, scheduler
+// construction must succeed, and the declaration must survive a JSON
+// round trip unchanged.
+func FuzzParseFleet(f *testing.F) {
+	seeds := []string{
+		// Minimal single-group pool.
+		`{"instances":[{"system":"CSP-1","count":2}]}`,
+		// Mixed on-demand/spot pool with full fault policy.
+		`{"instances":[{"system":"CSP-1","count":2},{"system":"CSP-2","count":1,"spot":true}],"max_retries":3,"backoff_base_s":30,"backoff_max_s":480,"backoff_jitter":0.25,"preemption_per_node_hour":0.05}`,
+		// Declarations Validate must reject.
+		`{"instances":[]}`,
+		`{"instances":[{"system":"","count":1}]}`,
+		`{"instances":[{"system":"CSP-1","count":0}]}`,
+		`{"instances":[{"system":"NOPE-9","count":1}]}`,
+		`{"instances":[{"system":"CSP-1","count":1}],"max_retries":-1}`,
+		`{"instances":[{"system":"CSP-1","count":1}],"backoff_base_s":-5}`,
+		`not json`,
+		`{"instances":[{"system":"CSP-1","count":1}],"bogus_field":true}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var fc FleetConfig
+		if err := dec.Decode(&fc); err != nil {
+			return // rejected input: the only requirement is not panicking
+		}
+
+		cfg := Config{Seed: 1, BudgetUSD: 10, Fleet: &fc}
+		fcfg := cfg.fleetConfig()
+		if err := fcfg.Validate(); err != nil {
+			// Invalid declarations must also be refused by the
+			// constructor, not just the standalone validator.
+			if _, schedErr := fleet.NewScheduler(fcfg); schedErr == nil {
+				t.Fatalf("Validate rejected %+v (%v) but NewScheduler accepted it", fc, err)
+			}
+			return
+		}
+		if _, err := fleet.NewScheduler(fcfg); err != nil {
+			t.Fatalf("validated fleet config %+v rejected by NewScheduler: %v", fc, err)
+		}
+
+		// Round trip: the declaration re-encodes to one that decodes
+		// back to the same value.
+		out, err := json.Marshal(fc)
+		if err != nil {
+			t.Fatalf("re-encoding validated fleet config: %v", err)
+		}
+		var again FleetConfig
+		if err := json.Unmarshal(out, &again); err != nil {
+			t.Fatalf("re-parsing %s: %v", out, err)
+		}
+		if !reflect.DeepEqual(fc, again) {
+			t.Fatalf("round trip drifted:\n first: %+v\nsecond: %+v", fc, again)
 		}
 	})
 }

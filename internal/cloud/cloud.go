@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/simcloud"
+	"repro/internal/units"
 )
 
 // ErrBudgetExhausted reports that a campaign ran out of budget while a
@@ -211,7 +212,7 @@ func (p *Provider) RunJob(spec JobSpec) (JobResult, error) {
 		res.USD = sys.JobCost(ranks, res.WallSeconds) * rate
 		if spec.Spot {
 			// Reclaim hazard over this slice's node-time.
-			nodeHours := float64(sys.Nodes(ranks)) * r.Seconds / 3600
+			nodeHours := float64(sys.Nodes(ranks)) * units.SecondsToHours(r.Seconds)
 			if p.rng.Float64() < 1-math.Exp(-p.PreemptionPerNodeHour*nodeHours) {
 				res.Aborted = true
 				res.Preempted = true

@@ -6,14 +6,17 @@
 // (Eqs. 11 and 15). All fitting minimizes the sum of squared errors (SSE)
 // exactly as the paper describes.
 //
-// Everything operates on plain float64 slices so the package has no
-// dependencies beyond the standard library.
+// Everything operates on plain float64 slices; the only dependency
+// beyond the standard library is the repository's own internal/units,
+// whose ApproxEqual guards the degenerate-input branches.
 package fit
 
 import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/units"
 )
 
 // ErrInsufficientData is returned when a fit is requested with fewer
@@ -23,6 +26,10 @@ var ErrInsufficientData = errors.New("fit: insufficient data points")
 // ErrBadInput is returned when the x and y series disagree in length or
 // contain non-finite values.
 var ErrBadInput = errors.New("fit: invalid input data")
+
+// degenTol bounds how close to zero a denominator or sum of squares may
+// come before the fit treats the inputs as degenerate.
+const degenTol = 1e-12
 
 func checkSeries(xs, ys []float64, min int) error {
 	if len(xs) != len(ys) {
@@ -72,8 +79,7 @@ func LinearLSQ(xs, ys []float64) (Linear, error) {
 		sxy += xs[i] * ys[i]
 	}
 	den := n*sxx - sx*sx
-	//lint:ignore floateq exact-zero guard before division: degenerate inputs only
-	if den == 0 {
+	if units.ApproxEqual(den, 0, degenTol) {
 		return Linear{}, fmt.Errorf("%w: degenerate x values", ErrBadInput)
 	}
 	slope := (n*sxy - sx*sy) / den
@@ -97,8 +103,7 @@ func LinearThroughPoint(xs, ys []float64, intercept float64) (Linear, error) {
 		num += xs[i] * (ys[i] - intercept)
 		den += xs[i] * xs[i]
 	}
-	//lint:ignore floateq exact-zero guard before division: degenerate inputs only
-	if den == 0 {
+	if units.ApproxEqual(den, 0, degenTol) {
 		return Linear{}, fmt.Errorf("%w: all x values are zero", ErrBadInput)
 	}
 	l := Linear{Slope: num / den, Intercept: intercept, N: len(xs)}
@@ -116,10 +121,8 @@ func quality(xs, ys []float64, f func(float64) float64) (sse, r2 float64) {
 		d := ys[i] - mean
 		sst += d * d
 	}
-	//lint:ignore floateq exact-zero guards: SST/SSE are sums of squares, zero only when all residuals vanish
-	if sst == 0 {
-		//lint:ignore floateq see above
-		if sse == 0 {
+	if units.ApproxEqual(sst, 0, degenTol) {
+		if units.ApproxEqual(sse, 0, degenTol) {
 			return 0, 1
 		}
 		return sse, 0
@@ -238,8 +241,7 @@ func twoLineGivenKnee(threads, bw []float64, a3 float64) (TwoLine, bool) {
 	case det != 0:
 		a1 = (s22*s1y - s12*s2y) / det
 		a2 = (s11*s2y - s12*s1y) / det
-	//lint:ignore floateq exact-zero guard before division
-	case s11 != 0:
+	case !units.ApproxEqual(s11, 0, degenTol):
 		// All points on one side of the knee: single-slope fit.
 		a1 = s1y / s11
 		a2 = a1

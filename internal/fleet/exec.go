@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/simcloud"
+	"repro/internal/units"
 )
 
 // assignment is the immutable payload the event loop hands a worker: one
@@ -90,7 +91,7 @@ func runAttempt(a assignment, inst *instance, rng *rand.Rand) attempt {
 		res.computeS += r.Seconds
 		res.usd = sys.JobCost(ranks, res.computeS) * rate
 		if a.hazard > 0 && inst.spot {
-			nodeHours := float64(sys.Nodes(ranks)) * r.Seconds / 3600
+			nodeHours := float64(sys.Nodes(ranks)) * units.SecondsToHours(r.Seconds)
 			if rng.Float64() < 1-math.Exp(-a.hazard*nodeHours) {
 				res.preempted = true
 				res.reason = "spot capacity reclaimed"

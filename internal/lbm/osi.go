@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"repro/internal/units"
 )
 
 // OSI — the oscillatory shear index — grades how much the wall shear
@@ -119,8 +121,7 @@ func (a *OSIAccumulator) MeanOSI() (float64, error) {
 		sum += s.OSI * s.MeanWSS
 		weight += s.MeanWSS
 	}
-	//lint:ignore floateq exact-zero guard before division: WSS weights are nonnegative sums
-	if weight == 0 {
+	if units.ApproxEqual(weight, 0, 1e-12) {
 		return 0, fmt.Errorf("lbm: no wall sites carried shear")
 	}
 	return sum / weight, nil

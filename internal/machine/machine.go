@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/units"
 )
 
 // MemoryModel describes a node's sustainable memory bandwidth as a
@@ -66,8 +68,7 @@ type LinkModel struct {
 // TimeUS returns the modeled time in microseconds to move a message of the
 // given size in bytes.
 func (l LinkModel) TimeUS(bytes float64) float64 {
-	const bytesPerMB = 1e6
-	return bytes/(l.BandwidthMBps*bytesPerMB)*1e6 + l.LatencyUS
+	return units.SecondsToMicros(bytes/units.MBpsToBps(l.BandwidthMBps)) + l.LatencyUS
 }
 
 // System is a complete description of one target infrastructure: the
@@ -182,7 +183,7 @@ func (s *System) RunNoise(rng *rand.Rand) float64 {
 // the paper assumes "cloud allocations are node based wherein the user is
 // allocated all cores on a node".
 func (s *System) JobCost(ranks int, seconds float64) float64 {
-	return float64(s.Nodes(ranks)) * seconds / 3600 * s.PricePerNodeHourUSD
+	return float64(s.Nodes(ranks)) * units.SecondsToHours(seconds) * s.PricePerNodeHourUSD
 }
 
 // String returns the abbreviation, the identity used in all tables.

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/fit"
 	"repro/internal/machine"
+	"repro/internal/units"
 )
 
 // StreamPoint is one STREAM observation: sustained bandwidth with a given
@@ -273,7 +274,7 @@ func StreamHost(kernel StreamKernel, threads, n, iters int) (float64, error) {
 		if secs <= 0 {
 			continue
 		}
-		bw := float64(n*kernel.bytesPerElement()) / secs / 1e6
+		bw := units.BpsToMBps(float64(n*kernel.bytesPerElement()) / secs)
 		if bw > best {
 			best = bw
 		}
@@ -331,5 +332,5 @@ func PingPongHost(bytes, iters int) (float64, error) {
 	}
 	elapsed := time.Since(start).Seconds()
 	close(ping)
-	return elapsed / float64(iters) / 2 * 1e6, nil
+	return units.SecondsToMicros(elapsed / float64(iters) / 2), nil
 }

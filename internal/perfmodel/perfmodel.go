@@ -29,6 +29,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mbench"
 	"repro/internal/simcloud"
+	"repro/internal/units"
 )
 
 // Characterization holds everything the models know about one system —
@@ -103,11 +104,11 @@ func Characterize(sys *machine.System, samples int, rng *rand.Rand) (*Characteri
 	return c, nil
 }
 
-// interpolate returns the message time in µs for a payload of m bytes from
+// interpolateUS returns the message time in µs for a payload of m bytes from
 // raw PingPong points by piecewise-linear interpolation, extrapolating the
 // last segment beyond the sweep — how the paper's direct model uses
 // "PingPong measurement raw data".
-func interpolate(pts []mbench.PingPongPoint, m float64) float64 {
+func interpolateUS(pts []mbench.PingPongPoint, m float64) float64 {
 	if len(pts) == 0 {
 		return 0
 	}
@@ -180,20 +181,20 @@ func (c *Characterization) PredictDirectShared(w simcloud.Workload, occupancy fl
 	for t := range w.Tasks {
 		k := float64(perNode[nodeOf(t)])
 		total := k + occupancy*float64(c.CoresPerNode-int(k))
-		share := c.Mem.Eval(total) / total * 1e6 // bytes/s available to this task
+		share := units.MBpsToBps(c.Mem.Eval(total) / total) // bytes/s available to this task
 		memS := w.Tasks[t].Bytes / share
 
 		var intraS, interS, pcieS float64
 		for _, msg := range w.Tasks[t].Sends {
 			if nodeOf(msg.Peer) == nodeOf(t) {
-				intraS += 2 * interpolate(c.RawIntra, msg.Bytes) * 1e-6
+				intraS += 2 * units.MicrosToSeconds(interpolateUS(c.RawIntra, msg.Bytes))
 			} else {
-				interS += 2 * interpolate(c.RawInter, msg.Bytes) * 1e-6
+				interS += 2 * units.MicrosToSeconds(interpolateUS(c.RawInter, msg.Bytes))
 			}
 			if c.PCIe != nil {
 				// Eq. 2's t_CPU-GPU: every halo message is staged through
 				// host memory on the way out and back in.
-				pcieS += 2 * interpolate(c.RawPCIe, msg.Bytes) * 1e-6
+				pcieS += 2 * units.MicrosToSeconds(interpolateUS(c.RawPCIe, msg.Bytes))
 			}
 		}
 		maxMem = math.Max(maxMem, memS)
@@ -276,7 +277,7 @@ func (c *Characterization) PredictGeneral(ws WorkloadSummary, g GeneralModel, ra
 	// Eq. 10: busiest task's bytes; memory time at its bandwidth share.
 	maxBytes := z * ws.BytesSerial / n
 	k := math.Min(n, float64(c.CoresPerNode))
-	share := c.Mem.Eval(k) / k * 1e6
+	share := units.MBpsToBps(c.Mem.Eval(k) / k)
 	memS := maxBytes / share
 
 	var commBW, commLat, pcieS float64
@@ -295,14 +296,14 @@ func (c *Characterization) PredictGeneral(ws WorkloadSummary, g GeneralModel, ra
 			// memory on the way out and back in, priced on the fitted
 			// PCIe link with one staging event per neighbor pair.
 			w2 := math.Min(math.Log2(n), MaxNeighbors)
-			pcieS = 2*mMaxTotal/(c.PCIe.BandwidthMBps*1e6) + 2*w2*c.PCIe.LatencyUS*1e-6
+			pcieS = 2*mMaxTotal/units.MBpsToBps(c.PCIe.BandwidthMBps) + 2*w2*units.MicrosToSeconds(c.PCIe.LatencyUS)
 		}
 		if nn >= 2 {
 			// Eq. 15 event count, then Eq. 16 split into its bandwidth and
 			// latency terms (Figure 10), priced on the interconnect.
 			events := g.Events.Eval(n, nn)
-			commBW = mMaxTotal / (c.Inter.BandwidthMBps * 1e6)
-			commLat = events * c.Inter.LatencyUS * 1e-6
+			commBW = mMaxTotal / units.MBpsToBps(c.Inter.BandwidthMBps)
+			commLat = events * units.MicrosToSeconds(c.Inter.LatencyUS)
 		} else {
 			// The job fits one node: no interconnect is crossed, so the
 			// halo moves on the intra-node link. The paper's multi-node
@@ -310,8 +311,8 @@ func (c *Characterization) PredictGeneral(ws WorkloadSummary, g GeneralModel, ra
 			// jobs are common and pricing them at interconnect latency
 			// would be grossly pessimistic.
 			events := 4 * math.Min(math.Log2(n)*2, 2*w)
-			commBW = mMaxTotal / (c.Intra.BandwidthMBps * 1e6)
-			commLat = events * c.Intra.LatencyUS * 1e-6
+			commBW = mMaxTotal / units.MBpsToBps(c.Intra.BandwidthMBps)
+			commLat = events * units.MicrosToSeconds(c.Intra.LatencyUS)
 		}
 	}
 

@@ -78,12 +78,12 @@ func TestInterpolate(t *testing.T) {
 		{-10, 10}, // clamp below
 	}
 	for _, c := range cases {
-		if got := interpolate(pts, c.m); math.Abs(got-c.want) > 1e-12 {
-			t.Errorf("interpolate(%v) = %v, want %v", c.m, got, c.want)
+		if got := interpolateUS(pts, c.m); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("interpolateUS(%v) = %v, want %v", c.m, got, c.want)
 		}
 	}
-	if got := interpolate(nil, 5); got != 0 {
-		t.Errorf("interpolate(nil) = %v, want 0", got)
+	if got := interpolateUS(nil, 5); got != 0 {
+		t.Errorf("interpolateUS(nil) = %v, want 0", got)
 	}
 }
 

@@ -9,6 +9,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"repro/internal/units"
 )
 
 // Point is one (x, y) observation.
@@ -73,12 +75,10 @@ func Render(series []Series, opt Options) string {
 	if minX > maxX || minY > maxY {
 		return "(no finite data to plot)\n"
 	}
-	//lint:ignore floateq exact degenerate-range guard before computing a scale
-	if maxX == minX {
+	if units.ApproxEqual(maxX, minX, 1e-12) {
 		maxX = minX + 1
 	}
-	//lint:ignore floateq exact degenerate-range guard before computing a scale
-	if maxY == minY {
+	if units.ApproxEqual(maxY, minY, 1e-12) {
 		maxY = minY + 1
 	}
 

@@ -1,0 +1,59 @@
+package units
+
+import "math"
+
+// Named unit types for the repository's recurring dimensions. APIs that
+// want the compiler (and the unitflow analyzer, which recognizes these
+// types by name) to enforce their units can trade float64 for one of
+// these; the scalar helpers below serve call sites that must stay
+// float64 but still want their scale conversions spelled out instead of
+// hidden in bare 1e6 factors.
+type (
+	// Seconds is a duration in seconds.
+	Seconds float64
+	// Micros is a duration in microseconds.
+	Micros float64
+	// Bytes is a data volume in bytes.
+	Bytes float64
+	// USD is an amount of money in US dollars.
+	USD float64
+	// MFLUPS is a throughput in millions of fluid lattice-site
+	// updates per second (Eq. 7).
+	MFLUPS float64
+)
+
+// Micros converts seconds to microseconds.
+func (s Seconds) Micros() Micros { return Micros(float64(s) * 1e6) }
+
+// Seconds converts microseconds to seconds.
+func (m Micros) Seconds() Seconds { return Seconds(float64(m) * 1e-6) }
+
+// MicrosToSeconds converts a microsecond quantity to seconds.
+func MicrosToSeconds(us float64) float64 { return us * 1e-6 }
+
+// SecondsToMicros converts a second quantity to microseconds.
+func SecondsToMicros(secs float64) float64 { return secs * 1e6 }
+
+// SecondsToHours converts a second quantity to hours (the billing unit
+// of the cloud cost model).
+func SecondsToHours(secs float64) float64 { return secs / 3600 }
+
+// MBpsToBps converts a bandwidth from MB/s to bytes per second.
+func MBpsToBps(mbps float64) float64 { return mbps * 1e6 }
+
+// BpsToMBps converts a bandwidth from bytes per second to MB/s.
+func BpsToMBps(bps float64) float64 { return bps * 1e-6 }
+
+// ApproxEqual reports whether a and b agree within tol, using a hybrid
+// absolute/relative tolerance: |a-b| <= tol*max(1, |a|, |b|). It is the
+// suite-sanctioned replacement for exact float comparisons that are
+// really degeneracy guards (near-singular determinants, collapsed plot
+// ranges). NaNs and infinite differences never compare equal.
+func ApproxEqual(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	if math.IsNaN(diff) || math.IsInf(diff, 0) {
+		return false
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= tol*scale
+}

@@ -1,0 +1,57 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScalarConversions(t *testing.T) {
+	cases := []struct {
+		name      string
+		got, want float64
+	}{
+		{"MicrosToSeconds", MicrosToSeconds(2.5e6), 2.5},
+		{"SecondsToMicros", SecondsToMicros(0.25), 2.5e5},
+		{"SecondsToHours", SecondsToHours(5400), 1.5},
+		{"MBpsToBps", MBpsToBps(12), 1.2e7},
+		{"BpsToMBps", BpsToMBps(1.2e7), 12},
+	}
+	for _, tc := range cases {
+		if !ApproxEqual(tc.got, tc.want, 1e-12) {
+			t.Errorf("%s: got %g, want %g", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestTypedConversionsRoundTrip(t *testing.T) {
+	s := Seconds(3.5)
+	if got := s.Micros(); !ApproxEqual(float64(got), 3.5e6, 1e-12) {
+		t.Errorf("Seconds(3.5).Micros() = %g", float64(got))
+	}
+	if got := s.Micros().Seconds(); !ApproxEqual(float64(got), 3.5, 1e-12) {
+		t.Errorf("round trip = %g, want 3.5", float64(got))
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{0, 0, 1e-12, true},
+		{1, 1 + 1e-13, 1e-12, true},
+		{1, 1 + 1e-9, 1e-12, false},
+		// Relative scaling: large magnitudes widen the window.
+		{1e15, 1e15 + 1, 1e-12, true},
+		{0, 1e-13, 1e-12, true},
+		{0, 1, 1e-12, false},
+		{math.NaN(), math.NaN(), 1e-12, false},
+		{math.Inf(1), math.Inf(1), 1e-12, false},
+		{math.Inf(1), 0, 1e-12, false},
+	}
+	for _, tc := range cases {
+		if got := ApproxEqual(tc.a, tc.b, tc.tol); got != tc.want {
+			t.Errorf("ApproxEqual(%g, %g, %g) = %v, want %v", tc.a, tc.b, tc.tol, got, tc.want)
+		}
+	}
+}

@@ -23,10 +23,10 @@ const (
 
 // Physical describes the physical problem.
 type Physical struct {
-	DiameterM   float64 // vessel diameter, meters
-	PeakSpeedMS float64 // peak flow speed, m/s
-	ViscosityM2 float64 // kinematic viscosity, m^2/s (default: blood)
-	HeartRateHz float64 // cardiac frequency for pulsatile flow (0 = steady)
+	DiameterM    float64 // vessel diameter, meters
+	PeakSpeedMps float64 // peak flow speed, m/s
+	ViscosityM2  float64 // kinematic viscosity, m^2/s (default: blood)
+	HeartRateHz  float64 // cardiac frequency for pulsatile flow (0 = steady)
 }
 
 // Lattice describes the chosen discretization.
@@ -50,8 +50,8 @@ type Conversion struct {
 // lattice viscosity follows from tau; matching physical and lattice
 // Reynolds numbers fixes the timestep.
 func Convert(p Physical, l Lattice) (Conversion, error) {
-	if p.DiameterM <= 0 || p.PeakSpeedMS <= 0 {
-		return Conversion{}, fmt.Errorf("units: diameter %g and speed %g must be positive", p.DiameterM, p.PeakSpeedMS)
+	if p.DiameterM <= 0 || p.PeakSpeedMps <= 0 {
+		return Conversion{}, fmt.Errorf("units: diameter %g and speed %g must be positive", p.DiameterM, p.PeakSpeedMps)
 	}
 	if p.ViscosityM2 == 0 {
 		p.ViscosityM2 = BloodKinematicViscosity
@@ -70,8 +70,8 @@ func Convert(p Physical, l Lattice) (Conversion, error) {
 	nuLattice := (l.Tau - 0.5) / 3
 	// nu_phys = nu_lattice * dx^2 / dt  =>  dt = nu_lattice dx^2 / nu_phys.
 	c.DtS = nuLattice * c.DxM * c.DxM / p.ViscosityM2
-	c.ULattice = p.PeakSpeedMS * c.DtS / c.DxM
-	c.Reynolds = p.PeakSpeedMS * p.DiameterM / p.ViscosityM2
+	c.ULattice = p.PeakSpeedMps * c.DtS / c.DxM
+	c.Reynolds = p.PeakSpeedMps * p.DiameterM / p.ViscosityM2
 	c.MachLattice = c.ULattice / (1 / math.Sqrt(3))
 	if p.HeartRateHz > 0 {
 		omega := 2 * math.Pi * p.HeartRateHz

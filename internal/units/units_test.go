@@ -8,9 +8,9 @@ import (
 
 // coronary is a realistic coronary-artery configuration.
 var coronary = Physical{
-	DiameterM:   3e-3, // 3 mm
-	PeakSpeedMS: 0.3,
-	HeartRateHz: 1.2,
+	DiameterM:    3e-3, // 3 mm
+	PeakSpeedMps: 0.3,
+	HeartRateHz:  1.2,
 }
 
 func TestConvertCoronary(t *testing.T) {
@@ -33,7 +33,7 @@ func TestConvertCoronary(t *testing.T) {
 		t.Errorf("viscosity round trip failed: %v", nuPhys)
 	}
 	// Lattice speed consistency.
-	if got := coronary.PeakSpeedMS * c.DtS / c.DxM; math.Abs(got-c.ULattice) > 1e-15 {
+	if got := coronary.PeakSpeedMps * c.DtS / c.DxM; math.Abs(got-c.ULattice) > 1e-15 {
 		t.Errorf("lattice speed inconsistent")
 	}
 	// Womersley for a 3 mm vessel at 1.2 Hz: Wo = R sqrt(omega/nu) ≈ 2.3.
@@ -61,7 +61,7 @@ func TestConvertSteadyHasNoWomersley(t *testing.T) {
 }
 
 func TestConvertDefaultsToBlood(t *testing.T) {
-	c, err := Convert(Physical{DiameterM: 3e-3, PeakSpeedMS: 0.3}, Lattice{SitesAcross: 40, Tau: 0.9})
+	c, err := Convert(Physical{DiameterM: 3e-3, PeakSpeedMps: 0.3}, Lattice{SitesAcross: 40, Tau: 0.9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,10 +72,10 @@ func TestConvertDefaultsToBlood(t *testing.T) {
 
 func TestConvertValidation(t *testing.T) {
 	l := Lattice{SitesAcross: 40, Tau: 0.9}
-	if _, err := Convert(Physical{DiameterM: 0, PeakSpeedMS: 0.3}, l); err == nil {
+	if _, err := Convert(Physical{DiameterM: 0, PeakSpeedMps: 0.3}, l); err == nil {
 		t.Error("want error for zero diameter")
 	}
-	if _, err := Convert(Physical{DiameterM: 3e-3, PeakSpeedMS: 0.3, ViscosityM2: -1}, l); err == nil {
+	if _, err := Convert(Physical{DiameterM: 3e-3, PeakSpeedMps: 0.3, ViscosityM2: -1}, l); err == nil {
 		t.Error("want error for negative viscosity")
 	}
 	if _, err := Convert(coronary, Lattice{SitesAcross: 2, Tau: 0.9}); err == nil {
@@ -88,7 +88,7 @@ func TestConvertValidation(t *testing.T) {
 
 func TestCheckFlagsCompressibility(t *testing.T) {
 	// A coarse lattice at high speed trips the Mach warning.
-	fast := Physical{DiameterM: 25e-3, PeakSpeedMS: 1.5} // aortic jet
+	fast := Physical{DiameterM: 25e-3, PeakSpeedMps: 1.5} // aortic jet
 	c, err := Convert(fast, Lattice{SitesAcross: 10, Tau: 1.8})
 	if err != nil {
 		t.Fatal(err)
@@ -110,7 +110,7 @@ func TestCheckFlagsCompressibility(t *testing.T) {
 
 func TestCheckFlagsCoarseCycle(t *testing.T) {
 	// Tiny vessel + huge dt => few steps per beat.
-	p := Physical{DiameterM: 1e-3, PeakSpeedMS: 0.05, HeartRateHz: 2}
+	p := Physical{DiameterM: 1e-3, PeakSpeedMps: 0.05, HeartRateHz: 2}
 	c, err := Convert(p, Lattice{SitesAcross: 5, Tau: 2.5})
 	if err != nil {
 		t.Fatal(err)
