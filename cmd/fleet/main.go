@@ -11,7 +11,13 @@
 // Usage:
 //
 //	fleet -config fleet.json
+//	fleet -config fleet.json -trace trace.json -events events.jsonl
 //	fleet -example            # print a starter config and exit
+//
+// -trace writes the run's span tree as Chrome trace-event JSON (open in
+// Perfetto or chrome://tracing, or summarize with cmd/trace); -events
+// exports the scheduler event log as JSONL; -metrics dumps the metrics
+// snapshot as JSONL.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 const exampleConfig = `{
@@ -71,6 +78,9 @@ func main() {
 	path := flag.String("config", "", "fleet campaign configuration file (JSON)")
 	example := flag.Bool("example", false, "print a starter configuration and exit")
 	gpu := flag.Bool("gpu", false, "include the GPU instance type in the catalog")
+	tracePath := flag.String("trace", "", "write the run's Chrome trace-event JSON to this file")
+	eventsPath := flag.String("events", "", "export the scheduler event log as JSONL to this file")
+	metricsPath := flag.String("metrics", "", "export the metrics snapshot as JSONL to this file")
 	flag.Parse()
 
 	if *example {
@@ -101,6 +111,37 @@ func main() {
 	sum, err := campaign.RunFleet(fw, cfg)
 	fatal(err)
 	fmt.Print(sum.Render())
+
+	if *tracePath != "" {
+		fatal(writeFile(*tracePath, func(f *os.File) error {
+			return obs.WriteChromeTrace(f, sum.Trace.Spans())
+		}))
+	}
+	if *eventsPath != "" {
+		fatal(writeFile(*eventsPath, func(f *os.File) error {
+			return obs.WriteJSONL(f, sum.Report.Events)
+		}))
+	}
+	if *metricsPath != "" {
+		fatal(writeFile(*metricsPath, func(f *os.File) error {
+			return obs.WriteJSONL(f, sum.Metrics.Snapshot())
+		}))
+	}
+}
+
+// writeFile creates path, runs write, and surfaces the first error
+// including the close (a flush failure on close still loses data).
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 func fatal(err error) {

@@ -1,0 +1,70 @@
+// Command trace filters and re-renders trace files produced by the
+// observability layer (cmd/fleet -trace, or any obs JSONL span dump).
+// Input format is sniffed: a Chrome trace-event JSON object or JSONL.
+//
+// Usage:
+//
+//	trace -format=text trace.json            # self-time summary
+//	trace -format=chrome spans.jsonl         # JSONL -> Perfetto-loadable
+//	trace -format=jsonl trace.json           # Chrome -> line-oriented
+//	trace -span=attempt -min-dur=10 t.json   # filter by name and duration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	format := flag.String("format", "text", "output format: chrome, text, or jsonl")
+	spanFilter := flag.String("span", "", "keep only spans whose name contains this substring")
+	minDurS := flag.Float64("min-dur", 0, "keep only spans with at least this simulated duration in seconds")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "trace: exactly one trace file required (Chrome JSON or JSONL)")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	fatal(err)
+	defer f.Close()
+	spans, err := obs.ReadSpans(f)
+	fatal(err)
+
+	if *spanFilter != "" || *minDurS > 0 {
+		kept := spans[:0]
+		for _, s := range spans {
+			if *spanFilter != "" && !strings.Contains(s.Name, *spanFilter) {
+				continue
+			}
+			if s.SimDurS() < *minDurS {
+				continue
+			}
+			kept = append(kept, s)
+		}
+		spans = kept
+	}
+
+	switch *format {
+	case "chrome":
+		fatal(obs.WriteChromeTrace(os.Stdout, spans))
+	case "jsonl":
+		fatal(obs.WriteJSONL(os.Stdout, spans))
+	case "text":
+		fmt.Print(obs.RenderSummary(spans, nil))
+	default:
+		fmt.Fprintf(os.Stderr, "trace: unknown format %q (want chrome, text, or jsonl)\n", *format)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+}

@@ -93,6 +93,7 @@ func All() []Check {
 		checkGorLeak(),
 		checkLockBalance(),
 		checkNoDeterm(),
+		checkSpanEnd(),
 		checkUnitSuffix(),
 	}
 	sort.Slice(cs, func(i, j int) bool { return cs[i].ID < cs[j].ID })

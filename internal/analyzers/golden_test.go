@@ -83,6 +83,12 @@ func TestGoldenDirtyFixtures(t *testing.T) {
 			{6, "gorleak", "no visible join"},
 			{12, "gorleak", "no visible join"},
 		}},
+		{check: "spanend", want: []want{
+			{22, "spanend", "discarded"},
+			{26, "spanend", "discarded"},
+			{30, "spanend", "return path before sp.End"},
+			{39, "spanend", "no End on the fallthrough path"},
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.check, func(t *testing.T) {
@@ -110,7 +116,7 @@ func TestGoldenDirtyFixtures(t *testing.T) {
 }
 
 func TestGoldenCleanFixtures(t *testing.T) {
-	for _, check := range []string{"nodeterm", "unitsuffix", "floateq", "droppederr", "lockbalance", "gorleak"} {
+	for _, check := range []string{"nodeterm", "unitsuffix", "floateq", "droppederr", "lockbalance", "gorleak", "spanend"} {
 		t.Run(check, func(t *testing.T) {
 			// Clean fixtures must survive the full suite, not just their
 			// own check: a clean idiom that trips a neighboring check is

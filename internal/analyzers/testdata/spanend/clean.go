@@ -1,0 +1,61 @@
+// Package fixtures holds span lifecycles the spanend check must
+// accept: defer End, straight-line End, End after attribute calls,
+// and explicit handoffs that move ownership elsewhere.
+package fixtures
+
+type span struct{}
+
+func (s *span) End(simS float64)          {}
+func (s *span) SetAttr(key, value string) {}
+func (s *span) SetTrack(track string)     {}
+
+type tracer struct{}
+
+func (t *tracer) Start(name string, simS float64) *span               { return &span{} }
+func (t *tracer) StartChild(p *span, name string, simS float64) *span { return &span{} }
+
+type runner struct {
+	Trace *tracer
+	root  *span
+}
+
+func (r *runner) deferredEnd(simS float64) {
+	sp := r.Trace.Start("step", simS)
+	defer sp.End(simS)
+}
+
+func (r *runner) deferredClosure(tr *tracer, simS float64) {
+	sp := tr.Start("step", simS)
+	defer func() {
+		sp.End(simS)
+	}()
+}
+
+func (r *runner) straightLine(tr *tracer, simS float64) {
+	sp := tr.Start("step", simS)
+	sp.SetAttr("phase", "compute")
+	sp.SetTrack("rank:0")
+	sp.End(simS)
+}
+
+func (r *runner) storedInField(simS float64) {
+	r.root = r.Trace.Start("campaign", simS)
+}
+
+func (r *runner) returnedToCaller(tr *tracer, simS float64) *span {
+	return tr.Start("step", simS)
+}
+
+func finish(sp *span, simS float64) { sp.End(simS) }
+
+func (r *runner) handedToHelper(tr *tracer, simS float64) {
+	sp := tr.StartChild(nil, "step", simS)
+	finish(sp, simS)
+}
+
+func (r *runner) parentOfChild(tr *tracer, simS float64) {
+	parent := tr.Start("outer", simS)
+	child := tr.StartChild(parent, "inner", simS)
+	child.End(simS)
+	parent.End(simS)
+}

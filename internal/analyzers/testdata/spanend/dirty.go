@@ -1,0 +1,41 @@
+// Package fixtures exercises the spanend check: every span below is
+// started and then lost on some path without its End.
+package fixtures
+
+type span struct{}
+
+func (s *span) End(simS float64)                {}
+func (s *span) SetAttr(key, value string)       {}
+func (s *span) SetTrack(track string)           {}
+func startNoise(tr *tracer, simS float64) *span { return tr.Start("noise", simS) }
+
+type tracer struct{}
+
+func (t *tracer) Start(name string, simS float64) *span               { return &span{} }
+func (t *tracer) StartChild(p *span, name string, simS float64) *span { return &span{} }
+
+type runner struct {
+	Trace *tracer
+}
+
+func (r *runner) discarded(simS float64) {
+	r.Trace.Start("step", simS)
+}
+
+func (r *runner) blankAssign(tr *tracer, simS float64) {
+	_ = tr.StartChild(nil, "step", simS)
+}
+
+func (r *runner) earlyReturn(tr *tracer, simS float64, skip bool) int {
+	sp := tr.Start("step", simS)
+	if skip {
+		return -1
+	}
+	sp.End(simS)
+	return 0
+}
+
+func (r *runner) neverEnded(simS float64) {
+	sp := r.Trace.Start("step", simS)
+	sp.SetAttr("phase", "compute")
+}

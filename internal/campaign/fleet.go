@@ -5,7 +5,9 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/dashboard"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 )
 
 // FleetConfig declares the fleet execution backend inside a campaign
@@ -41,6 +43,13 @@ func (c Config) fleetConfig() fleet.Config {
 type FleetSummary struct {
 	Report   *fleet.Report
 	Warnings []string // units-check findings, prefixed with the job name
+
+	// Trace and Metrics carry the campaign's observability record: a
+	// span tree rooted at the campaign span (seeded from the campaign
+	// seed, so same-seed runs export byte-identical Chrome traces) and
+	// the scheduler's counters, histograms, and per-job gauges.
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
 }
 
 // Render formats the full fleet report: event log, per-instance
@@ -53,6 +62,10 @@ func (s FleetSummary) Render() string {
 	b.WriteString(s.Report.RenderUtilization())
 	b.WriteString("\n=== jobs ===\n")
 	b.WriteString(s.Report.RenderJobs())
+	if s.Trace != nil {
+		b.WriteString("\n")
+		b.WriteString(dashboard.TracePanel(s.Trace.Spans(), s.Metrics.Snapshot()))
+	}
 	for _, w := range s.Warnings {
 		fmt.Fprintf(&b, "warning: %s\n", w)
 	}
@@ -88,7 +101,19 @@ func RunFleet(fw *core.Framework, cfg Config) (FleetSummary, error) {
 		}
 	}
 
+	// Root the campaign span: job preparation happens inside it (zero
+	// simulated duration, real wall duration), the fleet span nests under
+	// it, and it closes at the fleet's final makespan.
 	var summary FleetSummary
+	summary.Trace = obs.NewTracer(cfg.Seed)
+	summary.Metrics = obs.NewRegistry()
+	root := summary.Trace.Start("campaign", 0)
+	root.SetAttr("jobs", fmt.Sprintf("%d", len(cfg.Jobs)))
+	endS := 0.0
+	defer func() { root.End(endS) }()
+
+	prep := summary.Trace.StartChild(root, "prepare", 0)
+	defer prep.End(0) // closes the span on early error returns; the first End below wins otherwise
 	jobs := make([]*fleet.Job, 0, len(cfg.Jobs))
 	for _, j := range cfg.Jobs {
 		scale, steps, params, warnings, err := resolve(j)
@@ -148,16 +173,24 @@ func RunFleet(fw *core.Framework, cfg Config) (FleetSummary, error) {
 		}
 		jobs = append(jobs, fj)
 	}
+	prep.End(0)
+
+	sched.Trace = summary.Trace
+	sched.Metrics = summary.Metrics
+	sched.Root = root
 
 	report, err := sched.Run(jobs)
 	if err != nil {
 		return FleetSummary{}, err
 	}
 	summary.Report = report
+	endS = report.MakespanS
 
-	// Close the loop: completed jobs become telemetry samples, and every
+	// Close the loop through the metrics pipeline: the scheduler
+	// published per-job gauges on completion; the monitor bridge
+	// reassembles them into telemetry samples, and every
 	// prediction-bearing sample becomes a refinement record.
-	if err := report.ExportMonitor(&fw.Monitor); err != nil {
+	if _, err := fw.Monitor.IngestSnapshot(summary.Metrics.Snapshot()); err != nil {
 		return summary, err
 	}
 	if err := fw.Monitor.FeedRefiner(&fw.Refiner); err != nil {

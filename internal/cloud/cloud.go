@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/simcloud"
 	"repro/internal/units"
 )
@@ -266,6 +268,14 @@ type Campaign struct {
 	// count (checkpoint/restart semantics) up to this many times each.
 	MaxRetries int
 
+	// Trace, Metrics and Root optionally attach observability: each job
+	// gets a span on the provider's simulated clock with one child per
+	// attempt, and preemptions/retries count into the registry. Nil
+	// values disable instrumentation.
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
+	Root    *obs.Span
+
 	Results []JobResult
 	Skipped []string // names of jobs not started for lack of budget
 }
@@ -284,7 +294,7 @@ func (c *Campaign) Run(specs []JobSpec) error {
 			c.Skipped = append(c.Skipped, spec.Workload.Name)
 			continue
 		}
-		res, err := c.runWithRetries(spec)
+		res, err := c.runJobObserved(spec)
 		if errors.Is(err, ErrBudgetExhausted) {
 			// The job's completed attempts are real, billed work: keep the
 			// partial result. Subsequent specs are skipped by the remaining-
@@ -315,6 +325,62 @@ func resumeSpec(prev JobSpec, stepsDone int) JobSpec {
 	return resume
 }
 
+// runJobObserved wraps runWithRetries in the job's lifecycle span on its
+// own track, stamped with the simulated clock at start and end.
+func (c *Campaign) runJobObserved(spec JobSpec) (JobResult, error) {
+	span := c.Trace.StartChild(c.Root, "cloud.job", c.Provider.Clock())
+	span.SetTrack("cloud:" + spec.Workload.Name)
+	span.SetAttr("name", spec.Workload.Name)
+	span.SetAttr("system", spec.System)
+	span.SetAttr("steps", strconv.Itoa(spec.Steps))
+	if spec.Spot {
+		span.SetAttr("spot", "true")
+	}
+	defer func() { span.End(c.Provider.Clock()) }()
+	c.Metrics.Counter("cloud_jobs_total").Inc()
+
+	res, err := c.runWithRetries(spec, span)
+	switch {
+	case errors.Is(err, ErrBudgetExhausted):
+		span.SetAttr("outcome", "budget_exhausted")
+		c.Metrics.Counter("cloud_budget_exhausted_total").Inc()
+	case err != nil:
+		span.SetAttr("outcome", "error")
+	case res.Aborted:
+		span.SetAttr("outcome", "aborted")
+	default:
+		span.SetAttr("outcome", "completed")
+		span.SetAttrF("usd", res.USD)
+	}
+	return res, err
+}
+
+// runAttempt executes one provisioning+compute attempt inside its own
+// span and books its outcome into the registry.
+func (c *Campaign) runAttempt(spec JobSpec, parent *obs.Span, n int) (JobResult, error) {
+	span := c.Trace.StartChild(parent, "attempt", c.Provider.Clock())
+	span.SetAttr("attempt", strconv.Itoa(n))
+	defer func() { span.End(c.Provider.Clock()) }()
+
+	res, err := c.Provider.RunJob(spec)
+	if err != nil {
+		span.SetAttr("outcome", "error")
+		return res, err
+	}
+	span.SetAttr("steps", strconv.Itoa(res.StepsDone))
+	span.SetAttrF("usd", res.USD)
+	switch {
+	case res.Preempted:
+		span.SetAttr("outcome", "preempted")
+		c.Metrics.Counter("cloud_preemptions_total").Inc()
+	case res.Aborted:
+		span.SetAttr("outcome", "aborted")
+	default:
+		span.SetAttr("outcome", "completed")
+	}
+	return res, nil
+}
+
 // runWithRetries executes one job, resuming spot preemptions from the
 // completed step count (checkpoint/restart) up to MaxRetries times. The
 // returned result aggregates steps, wall time and cost across attempts.
@@ -322,8 +388,8 @@ func resumeSpec(prev JobSpec, stepsDone int) JobSpec {
 // is gone the partial result is returned with ErrBudgetExhausted, and the
 // resume's cost guard is clamped so one attempt cannot overspend what is
 // left.
-func (c *Campaign) runWithRetries(spec JobSpec) (JobResult, error) {
-	total, err := c.Provider.RunJob(spec)
+func (c *Campaign) runWithRetries(spec JobSpec, span *obs.Span) (JobResult, error) {
+	total, err := c.runAttempt(spec, span, 1)
 	if err != nil {
 		return JobResult{}, err
 	}
@@ -341,7 +407,8 @@ func (c *Campaign) runWithRetries(spec JobSpec) (JobResult, error) {
 		if resume.MaxUSD <= 0 || resume.MaxUSD > remaining {
 			resume.MaxUSD = remaining
 		}
-		next, err := c.Provider.RunJob(resume)
+		c.Metrics.Counter("cloud_retries_total").Inc()
+		next, err := c.runAttempt(resume, span, retry+2)
 		if err != nil {
 			return JobResult{}, err
 		}

@@ -225,7 +225,7 @@ func TestRunWithRetriesSurfacesBudgetError(t *testing.T) {
 	p := newProvider()
 	p.PreemptionPerNodeHour = 1e8
 	c := Campaign{Provider: p, BudgetUSD: 1e-9, MaxRetries: 10}
-	res, err := c.runWithRetries(JobSpec{Workload: w, System: "CSP-2 Small", Steps: 400, Spot: true})
+	res, err := c.runWithRetries(JobSpec{Workload: w, System: "CSP-2 Small", Steps: 400, Spot: true}, nil)
 	if !errors.Is(err, ErrBudgetExhausted) {
 		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
 	}

@@ -1,0 +1,33 @@
+package dashboard
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// TracePanel renders the observability view of the latest trace: where
+// simulated time went, by span name, with per-phase self-time — the
+// operational companion to the cost/performance tables. Metrics may be
+// nil; pass a registry snapshot to append counters and histogram
+// quantiles.
+func TracePanel(spans []obs.SpanRecord, metrics []obs.Metric) string {
+	var b strings.Builder
+	b.WriteString("=== trace ===\n")
+	if len(spans) == 0 {
+		b.WriteString("no spans recorded\n")
+		return b.String()
+	}
+	unended := 0
+	for _, s := range spans {
+		if !s.Ended {
+			unended++
+		}
+	}
+	b.WriteString(obs.RenderSummary(spans, metrics))
+	if unended > 0 {
+		fmt.Fprintf(&b, "\nwarning: %d span(s) never ended (crash or missing End call)\n", unended)
+	}
+	return b.String()
+}

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/simcloud"
 )
 
@@ -70,6 +71,10 @@ type jobState struct {
 	finished bool
 	shed     bool
 	reason   string
+
+	span      *obs.Span // lifecycle span, open from submission to completion/shed
+	waitSpan  *obs.Span // current queue-wait phase, nil while placed or parked
+	waitStart float64   // simulated start of the current queue wait
 }
 
 // completed reports whether the job finished all its steps.

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 
 	"repro/internal/cloud"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/simcloud"
 )
 
@@ -31,6 +33,14 @@ type Scheduler struct {
 	// Predict supplies seconds-per-step estimates for placement; defaults
 	// to NoiselessPredict. Replace it to wire in perfmodel predictions.
 	Predict Predictor
+
+	// Trace and Metrics optionally attach observability; set them before
+	// Run. Nil values disable instrumentation (every obs call site is a
+	// nil-safe no-op). Root, when set, parents the fleet span — a
+	// campaign roots its span here.
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
+	Root    *obs.Span
 
 	cfg   Config
 	insts []*instance
@@ -208,6 +218,7 @@ type pendingPlacement struct {
 	est   estimate
 	start float64
 	reply chan attempt
+	span  *obs.Span // attempt span, open until settle
 }
 
 // placeRound places queued, eligible jobs on idle instances at the
@@ -233,6 +244,7 @@ func (s *Scheduler) placeRound() []pendingPlacement {
 				s.log(EvDeferred, j.Name, "",
 					fmt.Sprintf("predicted cost $%.4f awaits $%.4f in reservations",
 						est.usd, s.gov.committed))
+				s.Metrics.Counter(metricDeferralsTotal).Inc()
 				j.deferred = true
 			}
 			skipped = append(skipped, j)
@@ -263,6 +275,7 @@ func (s *Scheduler) place(j *jobState, inst *instance, est estimate) pendingPlac
 
 	rec := pendingPlacement{inst: inst, job: j, est: est, start: s.clock,
 		reply: make(chan attempt, 1)}
+	s.obsPlace(&rec)
 	hazard := 0.0
 	if inst.spot {
 		hazard = s.cfg.PreemptionPerNodeHour
@@ -287,6 +300,7 @@ func (s *Scheduler) shed(j *jobState, reason string) {
 	j.finishedAt = s.clock
 	s.unfinished--
 	s.log(EvShed, j.Name, "", reason)
+	s.obsShed(j, reason)
 }
 
 // settle books a collected attempt when the simulated clock reaches the
@@ -305,6 +319,7 @@ func (s *Scheduler) settle(p pendingPlacement) {
 
 	switch {
 	case att.preempted && j.remaining() > 0:
+		s.obsAttemptEnd(&p, att, "preempted")
 		s.log(EvPreempted, j.Name, p.inst.id,
 			fmt.Sprintf("%s after %d steps ($%.4f billed), %d/%d done",
 				att.reason, att.steps, att.usd, j.done, j.Steps))
@@ -323,15 +338,19 @@ func (s *Scheduler) settle(p pendingPlacement) {
 		s.parked = append(s.parked, j)
 		s.log(EvRequeued, j.Name, "",
 			fmt.Sprintf("retry %d/%d, backoff %.1fs", retriesUsed+1, s.cfg.MaxRetries, backoff))
+		s.obsBackoff(j)
 	case att.aborted:
+		s.obsAttemptEnd(&p, att, "aborted")
 		s.shed(j, att.reason)
 	default:
+		s.obsAttemptEnd(&p, att, "completed")
 		j.finished = true
 		j.finishedAt = s.clock
 		s.unfinished--
 		s.log(EvCompleted, j.Name, p.inst.id,
 			fmt.Sprintf("%d steps in %.1fs compute, $%.4f, %.1f MFLUPS",
 				j.done, j.computeS, j.usd, j.mflups()))
+		s.obsComplete(j)
 	}
 }
 
@@ -358,6 +377,12 @@ func (s *Scheduler) Run(jobs []*Job) (*Report, error) {
 		}
 	}
 
+	// The fleet span parents every job span and closes at the final
+	// simulated clock, whatever path Run exits by.
+	fleetSpan := s.Trace.StartChild(s.Root, "fleet.run", s.clock)
+	fleetSpan.SetAttr("jobs", strconv.Itoa(len(jobs)))
+	defer func() { fleetSpan.End(s.clock) }()
+
 	// Start the worker pool: one goroutine per instance, each with its
 	// own deterministic RNG stream derived from the fleet seed.
 	for _, inst := range s.insts {
@@ -382,6 +407,7 @@ func (s *Scheduler) Run(jobs []*Job) (*Report, error) {
 		}
 		s.log(EvSubmitted, j.Name, "",
 			fmt.Sprintf("priority %d, %d ranks, %d steps, deadline %s", j.Priority, st.ranks, j.Steps, dl))
+		s.obsSubmit(fleetSpan, st)
 		ok := false
 		for _, inst := range s.insts {
 			if st.compatible(inst) {
@@ -394,6 +420,7 @@ func (s *Scheduler) Run(jobs []*Job) (*Report, error) {
 			continue
 		}
 		s.queue.push(st)
+		s.obsWaitStart(st)
 	}
 
 	pending := map[int]pendingPlacement{} // keyed by instance index; never iterated
@@ -403,6 +430,7 @@ func (s *Scheduler) Run(jobs []*Job) (*Report, error) {
 		for _, j := range s.parked {
 			if j.eligibleAt <= s.clock {
 				s.queue.push(j)
+				s.obsWaitStart(j)
 			} else {
 				stillParked = append(stillParked, j)
 			}

@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// tracedRun executes the full mixed-pool schedule with observability
+// wired and returns the Chrome trace-event export bytes.
+func tracedRun(t testing.TB, seed int64) ([]byte, *obs.Tracer, *obs.Registry) {
+	t.Helper()
+	s, err := NewScheduler(fullConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Trace = obs.NewTracer(seed)
+	s.Metrics = obs.NewRegistry()
+	if _, err := s.Run(fullJobs(t)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, s.Trace.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), s.Trace, s.Metrics
+}
+
+// TestSameSeedByteIdenticalChromeTrace extends the reproducibility
+// contract to the observability layer: span IDs derive from
+// (seed, start-sequence) and the Chrome export carries simulated time
+// only, so two runs with one seed must serialize byte-identically —
+// and match the checked-in golden file across machines and Go
+// versions. Regenerate with `go test ./internal/fleet -update-golden`.
+func TestSameSeedByteIdenticalChromeTrace(t *testing.T) {
+	trace1, _, _ := tracedRun(t, 17)
+	trace2, _, _ := tracedRun(t, 17)
+	if !bytes.Equal(trace1, trace2) {
+		t.Fatal("same-seed chrome traces differ between runs")
+	}
+
+	golden := filepath.Join("testdata", "trace_seed17_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, trace1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create it)", err)
+	}
+	if !bytes.Equal(trace1, want) {
+		t.Errorf("chrome trace deviates from golden file %s (re-run with -update-golden if the change is intentional)", golden)
+	}
+}
+
+// TestTraceSchemaAndTopology asserts the structural contract a Perfetto
+// load depends on: the export parses back, every job lifecycle appears
+// as a span tree under fleet.run, and queue-wait/compute phases carry
+// simulated durations.
+func TestTraceSchemaAndTopology(t *testing.T) {
+	trace, tracer, metrics := tracedRun(t, 17)
+
+	// The exporter's own reader doubles as the schema validator: it
+	// rejects X events missing ts, dur, name, or id args.
+	spans, err := obs.ReadChromeTrace(bytes.NewReader(trace))
+	if err != nil {
+		t.Fatalf("exported trace fails schema validation: %v", err)
+	}
+	if len(spans) != tracer.Len() {
+		t.Fatalf("round-trip lost spans: %d exported, %d recorded", len(spans), tracer.Len())
+	}
+
+	byID := map[string]obs.SpanRecord{}
+	count := map[string]int{}
+	for _, s := range spans {
+		byID[s.ID] = s
+		count[s.Name]++
+		if !s.Ended {
+			t.Errorf("span %s (%s) never ended", s.ID, s.Name)
+		}
+	}
+	var root obs.SpanRecord
+	for _, s := range spans {
+		if s.Name == "fleet.run" {
+			root = s
+		}
+	}
+	if root.ID == "" {
+		t.Fatal("no fleet.run root span")
+	}
+	if root.Parent != "" {
+		t.Errorf("fleet.run has parent %s, want root", root.Parent)
+	}
+	njobs := len(fullJobs(t))
+	if count["job"] != njobs {
+		t.Errorf("%d job spans, want %d", count["job"], njobs)
+	}
+	for _, name := range []string{"queue-wait", "attempt", "compute"} {
+		if count[name] == 0 {
+			t.Errorf("no %q spans in trace", name)
+		}
+	}
+	// Every job span parents to fleet.run; every attempt to a job.
+	for _, s := range spans {
+		switch s.Name {
+		case "job":
+			if s.Parent != root.ID {
+				t.Errorf("job span %s parents to %s, not fleet.run", s.ID, s.Parent)
+			}
+		case "attempt":
+			if byID[s.Parent].Name != "job" {
+				t.Errorf("attempt span %s parents to %q, want a job span", s.ID, byID[s.Parent].Name)
+			}
+			if s.SimDurS() < 0 {
+				t.Errorf("attempt span %s has negative duration", s.ID)
+			}
+		}
+	}
+
+	// The metrics side of the same run: placements counted, queue-wait
+	// histogram populated.
+	snap := metrics.Snapshot()
+	found := map[string]bool{}
+	for _, m := range snap {
+		found[m.Name] = true
+	}
+	for _, name := range []string{"fleet_placements_total", "fleet_completions_total", "fleet_queue_wait_s", "fleet_attempt_compute_s"} {
+		if !found[name] {
+			t.Errorf("metric %s missing from snapshot", name)
+		}
+	}
+}
+
+// TestTraceSummaryReportsPhases pins the cmd/trace text view contract:
+// the self-time summary must break time down by phase, including queue
+// wait, compute, and the span hierarchy's own bookkeeping rows.
+func TestTraceSummaryReportsPhases(t *testing.T) {
+	_, tracer, metrics := tracedRun(t, 17)
+	text := obs.RenderSummary(tracer.Spans(), metrics.Snapshot())
+	for _, phrase := range []string{"fleet.run", "queue-wait", "compute", "span", "self_sim_s"} {
+		if !bytes.Contains([]byte(text), []byte(phrase)) {
+			t.Errorf("summary is missing %q:\n%s", phrase, text)
+		}
+	}
+}

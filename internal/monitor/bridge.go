@@ -1,0 +1,115 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Per-job gauge names the fleet scheduler publishes on completion. The
+// ingestion bridge reassembles gauges carrying these names — grouped by
+// their identity labels — into telemetry Samples, so a metrics snapshot
+// feeds the same regression detection and model refinement as direct
+// Store.Add calls.
+const (
+	MetricJobMFLUPS     = "job_mflups"
+	MetricJobPredMFLUPS = "job_predicted_mflups"
+	MetricJobCostUSD    = "job_cost_usd"
+	MetricJobWaitS      = "job_wait_s"
+)
+
+// Identity labels on the per-job gauges.
+const (
+	LabelWorkload = "workload"
+	LabelSystem   = "system"
+	LabelRanks    = "ranks"
+	LabelModel    = "model"
+	LabelDoneT    = "done_t" // simulated completion seconds
+)
+
+// IngestSnapshot folds a metrics snapshot into the store: every group of
+// job_* gauges sharing identity labels becomes one Sample, added in
+// completion-time order (ties break on configuration key so ingestion
+// is deterministic). Non-job metrics are ignored. Returns the number of
+// samples added; a malformed group or a rejected Add aborts with an
+// error.
+func (st *Store) IngestSnapshot(snap []obs.Metric) (int, error) {
+	type group struct {
+		sample Sample
+		seen   bool // has the required MFLUPS gauge
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, m := range snap {
+		switch m.Name {
+		case MetricJobMFLUPS, MetricJobPredMFLUPS, MetricJobCostUSD, MetricJobWaitS:
+		default:
+			continue
+		}
+		if m.Type != "gauge" {
+			return 0, fmt.Errorf("monitor: ingest: %s is a %s, want gauge", m.Name, m.Type)
+		}
+		ranks, err := strconv.Atoi(m.Label(LabelRanks))
+		if err != nil {
+			return 0, fmt.Errorf("monitor: ingest: %s has bad ranks label %q", m.Name, m.Label(LabelRanks))
+		}
+		doneT, err := strconv.ParseFloat(m.Label(LabelDoneT), 64)
+		if err != nil {
+			return 0, fmt.Errorf("monitor: ingest: %s has bad done_t label %q", m.Name, m.Label(LabelDoneT))
+		}
+		id := fmt.Sprintf("%g\x00%s\x00%s\x00%d\x00%s",
+			doneT, m.Label(LabelWorkload), m.Label(LabelSystem), ranks, m.Label(LabelModel))
+		g, ok := groups[id]
+		if !ok {
+			g = &group{sample: Sample{
+				TimeS:    doneT,
+				Workload: m.Label(LabelWorkload),
+				System:   m.Label(LabelSystem),
+				Model:    m.Label(LabelModel),
+				Ranks:    ranks,
+			}}
+			groups[id] = g
+			order = append(order, id)
+		}
+		switch m.Name {
+		case MetricJobMFLUPS:
+			g.sample.MFLUPS = m.Value
+			g.seen = true
+		case MetricJobPredMFLUPS:
+			g.sample.Predicted = m.Value
+		case MetricJobCostUSD:
+			g.sample.CostUSD = m.Value
+		case MetricJobWaitS:
+			g.sample.WaitS = m.Value
+		}
+	}
+
+	samples := make([]Sample, 0, len(order))
+	for _, id := range order {
+		g := groups[id]
+		if !g.seen {
+			return 0, fmt.Errorf("monitor: ingest: %s/%s/%d at t=%g has no %s gauge",
+				g.sample.Workload, g.sample.System, g.sample.Ranks, g.sample.TimeS, MetricJobMFLUPS)
+		}
+		samples = append(samples, g.sample)
+	}
+	sort.SliceStable(samples, func(i, j int) bool {
+		if samples[i].TimeS < samples[j].TimeS {
+			return true
+		}
+		if samples[i].TimeS > samples[j].TimeS {
+			return false
+		}
+		return samples[i].key() < samples[j].key()
+	})
+	added := 0
+	for _, s := range samples {
+		if err := st.Add(s); err != nil {
+			return added, fmt.Errorf("monitor: ingest: %w", err)
+		}
+		added++
+	}
+	return added, nil
+}

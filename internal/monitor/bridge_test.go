@@ -1,0 +1,177 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestAddRejectsNonFinite is the regression test for the NaN guard:
+// every NaN comparison is false, so NaN MFLUPS sailed through the old
+// `<= 0` validation and poisoned every downstream mean and sigma.
+func TestAddRejectsNonFinite(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Sample
+	}{
+		{"NaN MFLUPS", Sample{TimeS: 1, Workload: "a", System: "s", Ranks: 4, MFLUPS: math.NaN()}},
+		{"+Inf MFLUPS", Sample{TimeS: 1, Workload: "a", System: "s", Ranks: 4, MFLUPS: math.Inf(1)}},
+		{"NaN time", Sample{TimeS: math.NaN(), Workload: "a", System: "s", Ranks: 4, MFLUPS: 5}},
+		{"NaN predicted", Sample{TimeS: 1, Workload: "a", System: "s", Ranks: 4, MFLUPS: 5, Predicted: math.NaN()}},
+		{"-Inf cost", Sample{TimeS: 1, Workload: "a", System: "s", Ranks: 4, MFLUPS: 5, CostUSD: math.Inf(-1)}},
+		{"NaN wait", Sample{TimeS: 1, Workload: "a", System: "s", Ranks: 4, MFLUPS: 5, WaitS: math.NaN()}},
+	}
+	for _, tc := range cases {
+		var st Store
+		if err := st.Add(tc.s); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), "non-finite") {
+			t.Errorf("%s: error %q does not name the non-finite field", tc.name, err)
+		}
+		if st.Len() != 0 {
+			t.Errorf("%s: rejected sample was stored", tc.name)
+		}
+	}
+}
+
+// TestKeyEscaping is the regression test for the ambiguous key join:
+// workload "a|b" system "c" and workload "a" system "b|c" rendered the
+// same "a|b|c|ranks" key, merging two configurations' series.
+func TestKeyEscaping(t *testing.T) {
+	var st Store
+	first := Sample{TimeS: 1, Workload: "a|b", System: "c", Ranks: 4, MFLUPS: 10}
+	second := Sample{TimeS: 2, Workload: "a", System: "b|c", Ranks: 4, MFLUPS: 20}
+	if first.key() == second.key() {
+		t.Fatalf("keys collide: %q", first.key())
+	}
+	for _, s := range []Sample{first, second} {
+		if err := st.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.Series("a|b", "c", 4); len(got) != 1 || got[0].MFLUPS != 10 {
+		t.Errorf("series for workload a|b = %v, want the single 10-MFLUPS sample", got)
+	}
+	if got := st.Series("a", "b|c", 4); len(got) != 1 || got[0].MFLUPS != 20 {
+		t.Errorf("series for system b|c = %v, want the single 20-MFLUPS sample", got)
+	}
+	if got := len(st.Configurations()); got != 2 {
+		t.Errorf("configurations = %d, want 2 distinct", got)
+	}
+	// Backslashes in names must not manufacture collisions either.
+	esc1 := Sample{Workload: `a\`, System: `b`}
+	esc2 := Sample{Workload: `a`, System: `\b`}
+	if esc1.key() == esc2.key() {
+		t.Errorf("backslash keys collide: %q", esc1.key())
+	}
+}
+
+// jobGauges publishes the four per-job gauges the fleet scheduler emits
+// on completion, the way fleet.obsComplete does.
+func jobGauges(reg *obs.Registry, workload, system, model string, ranks int, doneT, mflups, pred, usd, waitS float64) {
+	labels := []obs.Label{
+		obs.L(LabelWorkload, workload),
+		obs.L(LabelSystem, system),
+		obs.L(LabelRanks, strconv.Itoa(ranks)),
+		obs.L(LabelModel, model),
+		obs.L(LabelDoneT, fmt.Sprintf("%g", doneT)),
+	}
+	reg.Gauge(MetricJobMFLUPS, labels...).Set(mflups)
+	reg.Gauge(MetricJobPredMFLUPS, labels...).Set(pred)
+	reg.Gauge(MetricJobCostUSD, labels...).Set(usd)
+	reg.Gauge(MetricJobWaitS, labels...).Set(waitS)
+}
+
+func TestIngestSnapshotRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Two completed jobs, out of completion order in the snapshot (the
+	// snapshot is sorted by instrument key, not by time).
+	jobGauges(reg, "valve", "CSP-1", "direct", 8, 200, 40, 38, 1.5, 12)
+	jobGauges(reg, "aorta", "CSP-2", "direct", 16, 100, 55, 50, 2.5, 0)
+
+	var st Store
+	n, err := st.IngestSnapshot(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("ingested %d samples, want 2", n)
+	}
+	// Completion-time order: the t=100 aorta job must land first even
+	// though "valve" gauges might sort earlier in the snapshot.
+	aorta := st.Series("aorta", "CSP-2", 16)
+	if len(aorta) != 1 {
+		t.Fatalf("aorta series has %d samples", len(aorta))
+	}
+	got := aorta[0]
+	want := Sample{TimeS: 100, Workload: "aorta", System: "CSP-2", Model: "direct",
+		Ranks: 16, MFLUPS: 55, Predicted: 50, CostUSD: 2.5, WaitS: 0}
+	if got != want {
+		t.Errorf("ingested sample = %+v, want %+v", got, want)
+	}
+	valve := st.Series("valve", "CSP-1", 8)
+	if len(valve) != 1 || valve[0].WaitS != 12 {
+		t.Errorf("valve series = %+v, want one sample with 12s wait", valve)
+	}
+	// Prediction-bearing samples flow on into refinement records.
+	if recs := st.Records(); len(recs) != 2 {
+		t.Errorf("refinement records = %d, want 2", len(recs))
+	}
+}
+
+func TestIngestSnapshotIgnoresForeignMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("fleet_placements_total").Add(3)
+	reg.Gauge("par_compute_s", obs.L("rank", "0")).Set(1.25)
+	jobGauges(reg, "aorta", "CSP-2", "", 16, 100, 55, 0, 2.5, 0)
+
+	var st Store
+	n, err := st.IngestSnapshot(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("ingested %d samples, want 1 (foreign metrics must be skipped)", n)
+	}
+	// No prediction gauge value => no refinement record.
+	if recs := st.Records(); len(recs) != 0 {
+		t.Errorf("refinement records = %d, want 0 without predictions", len(recs))
+	}
+}
+
+func TestIngestSnapshotRejectsMalformedGroups(t *testing.T) {
+	// Missing the required MFLUPS gauge.
+	reg := obs.NewRegistry()
+	reg.Gauge(MetricJobCostUSD,
+		obs.L(LabelWorkload, "aorta"), obs.L(LabelSystem, "CSP-2"),
+		obs.L(LabelRanks, "16"), obs.L(LabelDoneT, "100")).Set(2.5)
+	var st Store
+	if _, err := st.IngestSnapshot(reg.Snapshot()); err == nil {
+		t.Error("want error for group without job_mflups")
+	}
+
+	// Unparseable ranks label.
+	reg = obs.NewRegistry()
+	reg.Gauge(MetricJobMFLUPS,
+		obs.L(LabelWorkload, "aorta"), obs.L(LabelSystem, "CSP-2"),
+		obs.L(LabelRanks, "many"), obs.L(LabelDoneT, "100")).Set(55)
+	st = Store{}
+	if _, err := st.IngestSnapshot(reg.Snapshot()); err == nil {
+		t.Error("want error for bad ranks label")
+	}
+
+	// A NaN gauge value must be caught by Add, not stored.
+	reg = obs.NewRegistry()
+	jobGauges(reg, "aorta", "CSP-2", "", 16, 100, math.NaN(), 0, 2.5, 0)
+	st = Store{}
+	if _, err := st.IngestSnapshot(reg.Snapshot()); err == nil {
+		t.Error("want error for NaN MFLUPS gauge")
+	}
+	if st.Len() != 0 {
+		t.Error("NaN sample was stored")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
@@ -33,9 +34,17 @@ type Sample struct {
 	WaitS float64 `json:"wait_s,omitempty"`
 }
 
+// escapeKeyPart makes a name safe for embedding in a "|"-separated
+// configuration key: without it, workload "a|b" system "c" and workload
+// "a" system "b|c" would collide on the same key.
+func escapeKeyPart(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "|", `\|`)
+}
+
 // key identifies a monitored configuration.
 func (s Sample) key() string {
-	return fmt.Sprintf("%s|%s|%d", s.Workload, s.System, s.Ranks)
+	return fmt.Sprintf("%s|%s|%d", escapeKeyPart(s.Workload), escapeKeyPart(s.System), s.Ranks)
 }
 
 // Store is an append-only telemetry store.
@@ -46,6 +55,19 @@ type Store struct {
 // Add appends a sample after validation. Samples must arrive in
 // non-decreasing time order (the monitor tails a live system).
 func (st *Store) Add(s Sample) error {
+	// NaN slips past a plain <= 0 guard (every NaN comparison is false),
+	// so non-finite fields need their own check.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"time", s.TimeS}, {"MFLUPS", s.MFLUPS}, {"predicted MFLUPS", s.Predicted},
+		{"cost", s.CostUSD}, {"wait", s.WaitS},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("monitor: sample for %s has non-finite %s (%g)", s.key(), f.name, f.v)
+		}
+	}
 	if s.MFLUPS <= 0 {
 		return fmt.Errorf("monitor: sample for %s has non-positive MFLUPS", s.key())
 	}

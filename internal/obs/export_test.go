@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// sampleTrace builds a small deterministic trace: a root with two
+// children on separate tracks, one span left unended.
+func sampleTrace(t *testing.T) *Tracer {
+	t.Helper()
+	tr := NewTracer(11)
+	tr.SetClock(fixedClock(1000))
+	root := tr.Start("campaign", 0)
+	a := tr.StartChild(root, "job", 1)
+	a.SetTrack("job:aorta")
+	a.SetAttr("system", "CPU")
+	a.End(4)
+	b := tr.StartChild(root, "job", 2)
+	b.SetTrack("job:valve")
+	b.End(9)
+	tr.Start("orphan", 5) // never ended
+	root.End(10)
+	return tr
+}
+
+func TestChromeTraceSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleTrace(t).Spans()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	// Structural schema assertions on the raw JSON: Perfetto needs a
+	// traceEvents array whose entries carry ph, and "X" events carry
+	// name/ts/dur/pid/tid.
+	var raw struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(raw.TraceEvents) == 0 {
+		t.Fatalf("no traceEvents")
+	}
+	sawMeta, sawX := 0, 0
+	for i, e := range raw.TraceEvents {
+		ph, _ := e["ph"].(string)
+		switch ph {
+		case "M":
+			sawMeta++
+		case "X":
+			sawX++
+			for _, k := range []string{"name", "ts", "dur", "pid", "tid"} {
+				if _, ok := e[k]; !ok {
+					t.Fatalf("X event %d missing %q: %v", i, k, e)
+				}
+			}
+		default:
+			t.Fatalf("event %d has unexpected ph %q", i, ph)
+		}
+	}
+	if sawX != 4 {
+		t.Fatalf("want 4 X events, got %d", sawX)
+	}
+	// process_name + one thread_name per track (main, job:aorta, job:valve).
+	if sawMeta != 4 {
+		t.Fatalf("want 4 metadata events, got %d", sawMeta)
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	spans := sampleTrace(t).Spans()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) != len(spans) {
+		t.Fatalf("round trip lost spans: %d vs %d", len(got), len(spans))
+	}
+	for i := range spans {
+		w, g := spans[i], got[i]
+		if g.ID != w.ID || g.Parent != w.Parent || g.Name != w.Name || g.Ended != w.Ended {
+			t.Fatalf("span %d identity drifted:\n want %+v\n got  %+v", i, w, g)
+		}
+		wantTrack := w.Track
+		if wantTrack == "" {
+			wantTrack = DefaultTrack
+		}
+		if g.Track != wantTrack {
+			t.Fatalf("span %d track %q, want %q", i, g.Track, wantTrack)
+		}
+		if !units.ApproxEqual(g.SimStartS, w.SimStartS, 1e-9) || !units.ApproxEqual(g.SimEndS, w.SimEndS, 1e-9) {
+			t.Fatalf("span %d sim times drifted: %+v vs %+v", i, g, w)
+		}
+		if w.Attr("system") != g.Attr("system") {
+			t.Fatalf("span %d attr drifted", i)
+		}
+	}
+}
+
+func TestChromeTraceDeterministicBytes(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, sampleTrace(t).Spans()); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(), render()) {
+		t.Fatalf("same-seed chrome traces are not byte-identical")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	spans := sampleTrace(t).Spans()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, spans); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(spans) {
+		t.Fatalf("%d lines for %d spans", len(lines), len(spans))
+	}
+	got, err := ReadSpansJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) != len(spans) {
+		t.Fatalf("round trip lost spans")
+	}
+	for i := range spans {
+		if got[i].ID != spans[i].ID || got[i].WallStartNS != spans[i].WallStartNS {
+			t.Fatalf("span %d drifted:\n want %+v\n got  %+v", i, spans[i], got[i])
+		}
+	}
+}
+
+func TestReadSpansSniffsFormat(t *testing.T) {
+	spans := sampleTrace(t).Spans()
+
+	var chrome bytes.Buffer
+	if err := WriteChromeTrace(&chrome, spans); err != nil {
+		t.Fatalf("write chrome: %v", err)
+	}
+	fromChrome, err := ReadSpans(bytes.NewReader(chrome.Bytes()))
+	if err != nil {
+		t.Fatalf("sniff chrome: %v", err)
+	}
+
+	var jsonl bytes.Buffer
+	if err := WriteJSONL(&jsonl, spans); err != nil {
+		t.Fatalf("write jsonl: %v", err)
+	}
+	fromJSONL, err := ReadSpans(bytes.NewReader(jsonl.Bytes()))
+	if err != nil {
+		t.Fatalf("sniff jsonl: %v", err)
+	}
+
+	if len(fromChrome) != len(spans) || len(fromJSONL) != len(spans) {
+		t.Fatalf("sniffed reads lost spans: chrome=%d jsonl=%d want=%d",
+			len(fromChrome), len(fromJSONL), len(spans))
+	}
+	if _, err := ReadSpans(strings.NewReader("   ")); err == nil {
+		t.Fatalf("blank input did not error")
+	}
+}
+
+func TestAggregateSpansSelfTime(t *testing.T) {
+	spans := sampleTrace(t).Spans()
+	aggs := AggregateSpans(spans)
+	byName := map[string]SpanAgg{}
+	for _, a := range aggs {
+		byName[a.Name] = a
+	}
+	// campaign: dur 10, children 3+7 => self 0.
+	c := byName["campaign"]
+	if c.Count != 1 || !units.ApproxEqual(c.TotalSimS, 10, 1e-9) || !units.ApproxEqual(c.SelfSimS, 0, 1e-9) {
+		t.Fatalf("campaign agg %+v", c)
+	}
+	// job: two spans, durations 3 and 7, no children => self 10.
+	j := byName["job"]
+	if j.Count != 2 || !units.ApproxEqual(j.SelfSimS, 10, 1e-9) {
+		t.Fatalf("job agg %+v", j)
+	}
+	// Sorted by self time descending: job first.
+	if aggs[0].Name != "job" {
+		t.Fatalf("aggs not sorted by self time: %+v", aggs)
+	}
+}
+
+func TestRenderSummary(t *testing.T) {
+	tr := sampleTrace(t)
+	r := NewRegistry()
+	r.Counter("fleet_preemptions_total").Add(3)
+	h := r.Histogram("fleet_queue_wait_s", []float64{1, 10, 100})
+	h.Observe(0.5)
+	h.Observe(5)
+
+	out := RenderSummary(tr.Spans(), r.Snapshot())
+	for _, want := range []string{"campaign", "job", "fleet_preemptions_total", "fleet_queue_wait_s", "p50", "self_sim_s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// Spans-only summary must work with nil metrics.
+	if s := RenderSummary(tr.Spans(), nil); !strings.Contains(s, "span") {
+		t.Fatalf("spans-only summary broken:\n%s", s)
+	}
+}
+
+func TestMetricLabelRendering(t *testing.T) {
+	m := Metric{Name: "x", Labels: []Label{{Key: "a", Value: "1"}, {Key: "b", Value: "2"}}}
+	if got := metricLabel(m); got != "x{a=1,b=2}" {
+		t.Fatalf("metricLabel = %q", got)
+	}
+	if got := metricLabel(Metric{Name: "plain"}); got != "plain" {
+		t.Fatalf("metricLabel = %q", got)
+	}
+}

@@ -1,0 +1,70 @@
+package par
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Observability for the rank runner. Each rank owns a standalone
+// histogram — no lock contention on the hot step loop beyond the
+// histogram's own uncontended mutex — merged into a shared registry
+// instrument only after the run (lock-free-by-ownership accumulation).
+
+// EnableStepHistograms attaches a per-rank step-duration histogram with
+// the given bucket bounds in seconds (empty selects obs.DefTimeBucketsS).
+// Call before Run; subsequent steps record their wall duration.
+func (r *Runner) EnableStepHistograms(boundsS []float64) {
+	if len(boundsS) == 0 {
+		boundsS = obs.DefTimeBucketsS
+	}
+	r.stepBoundsS = append([]float64(nil), boundsS...)
+	for _, rk := range r.ranks {
+		rk.stepHist = obs.NewHistogram(r.stepBoundsS)
+	}
+}
+
+// ExportMetrics folds the runner's measurements into a registry: the
+// per-rank step histograms merge into one "par_step_s" instrument, and
+// each rank's compute/communication split lands in labeled gauges.
+func (r *Runner) ExportMetrics(reg *obs.Registry) error {
+	if reg == nil {
+		return nil
+	}
+	for _, rk := range r.ranks {
+		label := obs.L("rank", strconv.Itoa(rk.id))
+		reg.Gauge("par_compute_s", label).Set(float64(rk.computeNS) / 1e9)
+		reg.Gauge("par_comm_s", label).Set(float64(rk.commNS) / 1e9)
+		if rk.stepHist == nil {
+			continue
+		}
+		if err := reg.Histogram("par_step_s", r.stepBoundsS).Merge(rk.stepHist); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExportSpans renders each rank's measured phase split as a span
+// aggregate under parent: one "rank" span per rank on its own track,
+// with "compute" and "halo-exchange" children laid end to end from
+// simStartS. The offsets are measured wall seconds projected onto the
+// simulated axis — a composition view (the empirical Figure 9), not a
+// replay of real concurrency.
+func (r *Runner) ExportSpans(tr *obs.Tracer, parent *obs.Span, simStartS float64) {
+	if tr == nil {
+		return
+	}
+	for _, rk := range r.ranks {
+		computeS := float64(rk.computeNS) / 1e9
+		commS := float64(rk.commNS) / 1e9
+		span := tr.StartChild(parent, "rank", simStartS)
+		span.SetTrack("rank:" + strconv.Itoa(rk.id))
+		span.SetAttr("rank", strconv.Itoa(rk.id))
+		comp := tr.StartChild(span, "compute", simStartS)
+		comp.End(simStartS + computeS)
+		halo := tr.StartChild(span, "halo-exchange", simStartS+computeS)
+		halo.End(simStartS + computeS + commS)
+		span.End(simStartS + computeS + commS)
+	}
+}
