@@ -3,6 +3,10 @@
 // framework characterizes the catalog (once), tunes the model, picks an
 // instance, runs the job with guards, and reports a spend summary.
 //
+// SIGINT/SIGTERM interrupt the campaign at the next clean point between
+// jobs: the partial summary (every completed job's spend and telemetry)
+// is still rendered, and the process exits non-zero.
+//
 // Usage:
 //
 //	campaign -config campaign.json
@@ -10,9 +14,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
@@ -57,6 +65,9 @@ func main() {
 	cfg, err := campaign.Load(f)
 	fatal(err)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	systems := machine.Catalog()
 	if *gpu {
 		systems = machine.FullCatalog()
@@ -65,10 +76,13 @@ func main() {
 	fw, err := core.NewFramework(systems, 5, cfg.Seed)
 	fatal(err)
 
-	sum, err := campaign.Run(fw, cfg)
-	fatal(err)
+	outcome, err := campaign.Runner{Backend: campaign.BackendSerial}.Run(ctx, fw, cfg)
+	interrupted := errors.Is(err, campaign.ErrInterrupted)
+	if err != nil && !interrupted {
+		fatal(err)
+	}
 	fmt.Println()
-	fmt.Print(sum.Render())
+	fmt.Print(outcome.Render())
 
 	// Post-campaign accuracy report from the refinement store.
 	for _, sys := range systems {
@@ -76,6 +90,10 @@ func main() {
 			fmt.Printf("model accuracy on %s: MAPE %.1f%% raw, %.1f%% calibrated (%d runs)\n",
 				sys.Abbrev, before*100, after*100, n)
 		}
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "campaign: interrupted; partial results above")
+		os.Exit(1)
 	}
 }
 

@@ -8,6 +8,10 @@
 // utilization, and the per-job cost/deadline report. Output is
 // deterministic: two runs with the same seed are byte-identical.
 //
+// SIGINT/SIGTERM interrupt the campaign at the next clean point (before
+// the fleet simulation commits); the process exits non-zero after a
+// clean shutdown.
+//
 // Usage:
 //
 //	fleet -config fleet.json
@@ -21,9 +25,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
@@ -101,6 +109,9 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	systems := machine.Catalog()
 	if *gpu {
 		systems = machine.FullCatalog()
@@ -108,8 +119,13 @@ func main() {
 	fw, err := core.NewFramework(systems, 5, cfg.Seed)
 	fatal(err)
 
-	sum, err := campaign.RunFleet(fw, cfg)
+	outcome, err := campaign.Runner{Backend: campaign.BackendFleet}.Run(ctx, fw, cfg)
+	if errors.Is(err, campaign.ErrInterrupted) {
+		fmt.Fprintln(os.Stderr, "fleet: interrupted before the fleet run committed")
+		os.Exit(1)
+	}
 	fatal(err)
+	sum := outcome.Fleet
 	fmt.Print(sum.Render())
 
 	if *tracePath != "" {

@@ -1,0 +1,230 @@
+// Command loadgen benchmarks the planning service: it hammers
+// POST /v1/predict from concurrent workers for a fixed duration, then
+// reports throughput, latency quantiles, and the server's cache hit
+// rate as JSON (the BENCH_serve.json artifact).
+//
+// With no -url it spins up an in-process server on a loopback listener,
+// so the benchmark is self-contained:
+//
+//	loadgen -duration 5s -workers 16 -out BENCH_serve.json
+//
+// Point -url at a running serve instance to benchmark over the wire.
+// The first request is a synchronous warmup that pays the calibration
+// cache miss; the measured window is cache-warm, which is the serving
+// layer's whole bet.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+type benchReport struct {
+	Endpoint   string         `json:"endpoint"`
+	Workers    int            `json:"workers"`
+	DurationS  float64        `json:"duration_s"`
+	Requests   int            `json:"requests"`
+	Throughput float64        `json:"rps"`
+	P50MS      float64        `json:"p50_ms"`
+	P95MS      float64        `json:"p95_ms"`
+	P99MS      float64        `json:"p99_ms"`
+	MeanMS     float64        `json:"mean_ms"`
+	Status     map[string]int `json:"status"`
+
+	CacheHits      int     `json:"cache_hits"`
+	CacheMisses    int     `json:"cache_misses"`
+	CacheCoalesced int     `json:"cache_coalesced"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	Shed           int     `json:"shed"`
+	Errors         int     `json:"errors"`
+}
+
+type workerStats struct {
+	lats   []float64 // seconds
+	status map[int]int
+	errors int
+}
+
+func main() {
+	baseURL := flag.String("url", "", "serve base URL (empty: run an in-process server)")
+	duration := flag.Duration("duration", 5*time.Second, "measurement window")
+	workers := flag.Int("workers", 16, "concurrent request loops")
+	geometry := flag.String("geometry", "cylinder", "workload geometry")
+	scale := flag.Float64("scale", 6, "workload scale")
+	system := flag.String("system", "CSP-2", "instance type to predict on")
+	ranks := flag.Int("ranks", 32, "rank count to predict at")
+	out := flag.String("out", "BENCH_serve.json", "report path (- for stdout only)")
+	flag.Parse()
+
+	target := *baseURL
+	if target == "" {
+		srv, err := serve.New(serve.Config{MaxInflight: 4 * *workers})
+		fatal(err)
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		target = ts.URL
+	}
+
+	body, err := json.Marshal(map[string]any{
+		"workload": map[string]any{"geometry": *geometry, "scale": *scale},
+		"systems":  []string{*system},
+		"ranks":    []int{*ranks},
+	})
+	fatal(err)
+	predictURL := target + "/v1/predict"
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *workers}}
+
+	// Warmup: pay the calibration miss outside the measured window.
+	warm, err := client.Post(predictURL, "application/json", bytes.NewReader(body))
+	fatal(err)
+	fatal(drainBody(warm))
+	if warm.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("warmup returned %s", warm.Status))
+	}
+
+	stats := make([]workerStats, *workers)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	var wg sync.WaitGroup
+	for i := 0; i < *workers; i++ {
+		wg.Add(1)
+		go func(st *workerStats) {
+			defer wg.Done()
+			st.status = make(map[int]int)
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				resp, err := client.Post(predictURL, "application/json", bytes.NewReader(body))
+				if err != nil {
+					st.errors++
+					continue
+				}
+				if err := drainBody(resp); err != nil {
+					st.errors++
+					continue
+				}
+				st.lats = append(st.lats, time.Since(t0).Seconds())
+				st.status[resp.StatusCode]++
+			}
+		}(&stats[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var lats []float64
+	statuses := make(map[string]int)
+	errors := 0
+	for i := range stats {
+		lats = append(lats, stats[i].lats...)
+		for code, n := range stats[i].status {
+			statuses[strconv.Itoa(code)] += n
+		}
+		errors += stats[i].errors
+	}
+	sort.Float64s(lats)
+	mean := 0.0
+	for _, l := range lats {
+		mean += l
+	}
+	if len(lats) > 0 {
+		mean /= float64(len(lats))
+	}
+
+	report := benchReport{
+		Endpoint:   "/v1/predict",
+		Workers:    *workers,
+		DurationS:  elapsed,
+		Requests:   len(lats),
+		Throughput: float64(len(lats)) / elapsed,
+		P50MS:      quantile(lats, 0.50) * 1e3,
+		P95MS:      quantile(lats, 0.95) * 1e3,
+		P99MS:      quantile(lats, 0.99) * 1e3,
+		MeanMS:     mean * 1e3,
+		Status:     statuses,
+		Errors:     errors,
+	}
+	fatal(scrapeCache(client, target, &report))
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	fatal(err)
+	fmt.Println(string(enc))
+	if *out != "-" {
+		fatal(os.WriteFile(*out, append(enc, '\n'), 0o644))
+	}
+}
+
+// quantile reads the q-quantile from sorted latencies.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// drainBody consumes and closes a response body so the connection is
+// reused by the keepalive pool.
+func drainBody(resp *http.Response) error {
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		if cerr := resp.Body.Close(); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// scrapeCache pulls the server's own cache and shed counters from
+// GET /v1/metrics?format=json into the report.
+func scrapeCache(client *http.Client, target string, r *benchReport) error {
+	resp, err := client.Get(target + "/v1/metrics?format=json")
+	if err != nil {
+		return err
+	}
+	var ms []obs.Metric
+	derr := json.NewDecoder(resp.Body).Decode(&ms)
+	if cerr := resp.Body.Close(); derr == nil {
+		derr = cerr
+	}
+	if derr != nil {
+		return derr
+	}
+	for _, m := range ms {
+		switch m.Name {
+		case "serve_cache_total":
+			switch m.Label("result") {
+			case "hit":
+				r.CacheHits = int(m.Value)
+			case "miss":
+				r.CacheMisses = int(m.Value)
+			case "coalesced":
+				r.CacheCoalesced = int(m.Value)
+			}
+		case "serve_shed_total":
+			r.Shed += int(m.Value)
+		}
+	}
+	if total := r.CacheHits + r.CacheMisses + r.CacheCoalesced; total > 0 {
+		r.CacheHitRate = float64(r.CacheHits) / float64(total)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}

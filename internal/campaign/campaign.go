@@ -7,6 +7,7 @@
 package campaign
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/dashboard"
 	"repro/internal/geometry"
 	"repro/internal/lbm"
+	"repro/internal/monitor"
 	"repro/internal/units"
 )
 
@@ -159,22 +161,18 @@ func (c *Config) Validate() error {
 
 // objective maps the config string to a dashboard objective.
 func objective(s string) (dashboard.Objective, error) {
-	switch s {
-	case "max-throughput":
-		return dashboard.MaxThroughput, nil
-	case "min-cost":
-		return dashboard.MinCost, nil
-	case "min-time":
-		return dashboard.MinTime, nil
-	case "max-value", "":
-		return dashboard.MaxValue, nil
+	obj, err := dashboard.ParseObjective(s)
+	if err != nil {
+		return 0, fmt.Errorf("campaign: unknown objective %q", s)
 	}
-	return 0, fmt.Errorf("campaign: unknown objective %q", s)
+	return obj, nil
 }
 
-// buildGeometry constructs the declared domain at the given scale
-// (vessel radius in lattice sites).
-func buildGeometry(name string, scale float64) (*geometry.Domain, error) {
+// BuildGeometry constructs a declared domain at the given scale (vessel
+// radius in lattice sites). It is exported for the serving layer, which
+// builds workloads from the same geometry vocabulary campaign configs
+// use.
+func BuildGeometry(name string, scale float64) (*geometry.Domain, error) {
 	switch name {
 	case "cylinder":
 		return geometry.Cylinder(int(8*scale), scale)
@@ -293,6 +291,13 @@ func (s Summary) Render() string {
 // Run executes the campaign against a framework (which carries the
 // characterized dashboard and simulated provider).
 func Run(fw *core.Framework, cfg Config) (Summary, error) {
+	return runSerial(context.Background(), fw, cfg)
+}
+
+// runSerial is the sequential engine behind Run and Runner. It checks
+// ctx between jobs: an interruption returns the partial summary under
+// ErrInterrupted with every completed job's spend and telemetry intact.
+func runSerial(ctx context.Context, fw *core.Framework, cfg Config) (Summary, error) {
 	if err := cfg.Validate(); err != nil {
 		return Summary{}, err
 	}
@@ -303,6 +308,10 @@ func Run(fw *core.Framework, cfg Config) (Summary, error) {
 	runner := cloud.Campaign{Provider: fw.Provider, BudgetUSD: cfg.BudgetUSD, MaxRetries: cfg.Retries}
 	var summary Summary
 	for _, j := range cfg.Jobs {
+		if err := interrupted(ctx); err != nil {
+			summary.SpentUSD = fw.Provider.TotalSpend()
+			return summary, err
+		}
 		scale, steps, params, warnings, err := resolve(j)
 		if err != nil {
 			return Summary{}, err
@@ -310,7 +319,7 @@ func Run(fw *core.Framework, cfg Config) (Summary, error) {
 		for _, w := range warnings {
 			summary.Warnings = append(summary.Warnings, j.Name+": "+w)
 		}
-		dom, err := buildGeometry(j.Geometry, scale)
+		dom, err := BuildGeometry(j.Geometry, scale)
 		if err != nil {
 			return Summary{}, err
 		}
@@ -349,9 +358,23 @@ func Run(fw *core.Framework, cfg Config) (Summary, error) {
 			Name: j.Name, System: system, Planned: true,
 			Result: res, PredictedMFLUPS: pred.MFLUPS,
 		})
-		// Feed the refinement loop with completed, unaborted runs.
+		// Feed the refinement loop and the telemetry monitor with
+		// completed, unaborted runs — the same measure→model→refine
+		// loop the fleet backend closes through its metrics snapshot.
 		if !res.Aborted && res.StepsDone > 0 {
 			if err := fw.Record(anatomy, pred, res.Result); err != nil {
+				return Summary{}, err
+			}
+			if err := fw.Monitor.Add(monitor.Sample{
+				TimeS:     fw.Provider.Clock(),
+				Workload:  j.Name,
+				System:    system,
+				Model:     pred.Model,
+				Ranks:     j.Ranks,
+				MFLUPS:    res.Result.MFLUPS,
+				Predicted: pred.MFLUPS,
+				CostUSD:   res.USD,
+			}); err != nil {
 				return Summary{}, err
 			}
 		}

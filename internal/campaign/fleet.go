@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -78,6 +79,14 @@ func (s FleetSummary) Render() string {
 // the declared instance pool. Completed jobs export telemetry into the
 // framework's monitor and feed the refinement store.
 func RunFleet(fw *core.Framework, cfg Config) (FleetSummary, error) {
+	return runFleet(context.Background(), fw, cfg)
+}
+
+// runFleet is the fleet engine behind RunFleet and Runner. ctx is
+// checked between job preparations and before the scheduler starts; the
+// discrete-event schedule itself runs to completion once started (it
+// simulates time rather than spending it).
+func runFleet(ctx context.Context, fw *core.Framework, cfg Config) (FleetSummary, error) {
 	if cfg.Fleet == nil {
 		return FleetSummary{}, fmt.Errorf("campaign: no fleet declared in config")
 	}
@@ -116,6 +125,9 @@ func RunFleet(fw *core.Framework, cfg Config) (FleetSummary, error) {
 	defer prep.End(0) // closes the span on early error returns; the first End below wins otherwise
 	jobs := make([]*fleet.Job, 0, len(cfg.Jobs))
 	for _, j := range cfg.Jobs {
+		if err := interrupted(ctx); err != nil {
+			return FleetSummary{}, err
+		}
 		scale, steps, params, warnings, err := resolve(j)
 		if err != nil {
 			return FleetSummary{}, err
@@ -123,7 +135,7 @@ func RunFleet(fw *core.Framework, cfg Config) (FleetSummary, error) {
 		for _, w := range warnings {
 			summary.Warnings = append(summary.Warnings, j.Name+": "+w)
 		}
-		dom, err := buildGeometry(j.Geometry, scale)
+		dom, err := BuildGeometry(j.Geometry, scale)
 		if err != nil {
 			return FleetSummary{}, err
 		}
@@ -179,6 +191,9 @@ func RunFleet(fw *core.Framework, cfg Config) (FleetSummary, error) {
 	sched.Metrics = summary.Metrics
 	sched.Root = root
 
+	if err := interrupted(ctx); err != nil {
+		return FleetSummary{}, err
+	}
 	report, err := sched.Run(jobs)
 	if err != nil {
 		return FleetSummary{}, err

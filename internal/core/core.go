@@ -74,9 +74,12 @@ type Anatomy struct {
 	General perfmodel.GeneralModel
 }
 
-// defaultCalibrationCounts is the task-count sweep used to fit the
-// z-law and event-law when preparing an anatomy.
-func defaultCalibrationCounts(n int) []int {
+// CalibrationCounts is the task-count sweep used to fit the z-law and
+// event-law when tuning the generalized model to an anatomy of n fluid
+// points. Exported so the serving layer calibrates workloads exactly the
+// way PrepareAnatomy does — the cache-key determinism contract depends
+// on both paths sweeping identical counts.
+func CalibrationCounts(n int) []int {
 	var counts []int
 	for k := 1; k <= n/8 && k <= 512; k *= 2 {
 		counts = append(counts, k)
@@ -103,7 +106,7 @@ func (f *Framework) PrepareAnatomy(name string, dom *geometry.Domain, p lbm.Para
 			coresPerNode = sys.CoresPerNode
 		}
 	}
-	g, err := perfmodel.CalibrateGeneral(s, access, defaultCalibrationCounts(s.N()), coresPerNode)
+	g, err := perfmodel.CalibrateGeneral(s, access, CalibrationCounts(s.N()), coresPerNode)
 	if err != nil {
 		return nil, fmt.Errorf("core: calibrating %q: %w", name, err)
 	}
@@ -139,7 +142,7 @@ func (f *Framework) PredictDirect(a *Anatomy, system string, ranks int) (perfmod
 	if err != nil {
 		return perfmodel.Prediction{}, err
 	}
-	pred, err := e.Char.PredictDirect(w)
+	pred, err := e.Char.Predict(perfmodel.Request{Model: perfmodel.ModelDirect, Workload: &w})
 	if err != nil {
 		return perfmodel.Prediction{}, err
 	}
@@ -153,7 +156,12 @@ func (f *Framework) PredictGeneral(a *Anatomy, system string, ranks int) (perfmo
 	if err != nil {
 		return perfmodel.Prediction{}, err
 	}
-	pred, err := e.Char.PredictGeneral(a.Summary, a.General, ranks)
+	pred, err := e.Char.Predict(perfmodel.Request{
+		Model:   perfmodel.ModelGeneral,
+		Summary: &a.Summary,
+		General: a.General,
+		Ranks:   ranks,
+	})
 	if err != nil {
 		return perfmodel.Prediction{}, err
 	}

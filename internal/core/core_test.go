@@ -177,7 +177,7 @@ func TestUnknownSystemErrors(t *testing.T) {
 }
 
 func TestDefaultCalibrationCounts(t *testing.T) {
-	counts := defaultCalibrationCounts(10000)
+	counts := CalibrationCounts(10000)
 	if len(counts) < 3 {
 		t.Fatalf("too few counts: %v", counts)
 	}
@@ -185,7 +185,7 @@ func TestDefaultCalibrationCounts(t *testing.T) {
 		t.Errorf("first count %d, want 1", counts[0])
 	}
 	// Tiny lattice still yields enough counts to fit.
-	tiny := defaultCalibrationCounts(10)
+	tiny := CalibrationCounts(10)
 	if len(tiny) < 3 {
 		t.Errorf("tiny lattice counts: %v", tiny)
 	}

@@ -78,8 +78,9 @@ func (d *Dashboard) Assess(ws perfmodel.WorkloadSummary, g perfmodel.GeneralMode
 		return nil, fmt.Errorf("dashboard: steps %d must be positive", steps)
 	}
 	out := make([]Assessment, 0, len(d.Entries))
+	req := perfmodel.Request{Model: perfmodel.ModelGeneral, Summary: &ws, General: g, Ranks: ranks}
 	for _, e := range d.Entries {
-		pred, err := e.Char.PredictGeneral(ws, g, ranks)
+		pred, err := e.Char.Predict(req)
 		if err != nil {
 			return nil, fmt.Errorf("dashboard: assessing %s: %w", e.System.Abbrev, err)
 		}
@@ -127,6 +128,22 @@ const (
 	MinTime                        // shortest predicted time to solution
 	MaxValue                       // highest throughput per dollar-hour
 )
+
+// ParseObjective maps a config/API string to an Objective. The empty
+// string selects MaxValue, the throughput-per-dollar default.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "max-throughput":
+		return MaxThroughput, nil
+	case "min-cost":
+		return MinCost, nil
+	case "min-time":
+		return MinTime, nil
+	case "max-value", "":
+		return MaxValue, nil
+	}
+	return 0, fmt.Errorf("dashboard: unknown objective %q", s)
+}
 
 // String names the objective.
 func (o Objective) String() string {
@@ -203,11 +220,12 @@ func (d *Dashboard) Crossover(ws perfmodel.WorkloadSummary, g perfmodel.GeneralM
 		return 0, false, fmt.Errorf("dashboard: maxRanks %d must be at least 2", maxRanks)
 	}
 	for r := 2; r <= maxRanks; r *= 2 {
-		pa, err := ea.Char.PredictGeneral(ws, g, r)
+		req := perfmodel.Request{Model: perfmodel.ModelGeneral, Summary: &ws, General: g, Ranks: r}
+		pa, err := ea.Char.Predict(req)
 		if err != nil {
 			return 0, false, err
 		}
-		pb, err := eb.Char.PredictGeneral(ws, g, r)
+		pb, err := eb.Char.Predict(req)
 		if err != nil {
 			return 0, false, err
 		}

@@ -49,7 +49,7 @@ func ExtGPU() (Report, error) {
 			if err != nil {
 				return Report{}, err
 			}
-			pred, err := c.PredictDirect(w)
+			pred, err := c.Predict(perfmodel.Request{Model: perfmodel.ModelDirect, Workload: &w})
 			if err != nil {
 				return Report{}, err
 			}
@@ -95,7 +95,7 @@ func ExtSharedNode() (Report, error) {
 		if err != nil {
 			return Report{}, err
 		}
-		pred, err := c.PredictDirectShared(w, occ)
+		pred, err := c.Predict(perfmodel.Request{Model: perfmodel.ModelDirect, Workload: &w, Occupancy: occ})
 		if err != nil {
 			return Report{}, err
 		}

@@ -100,11 +100,11 @@ func modelSweep(cache *workloadCache, dom *geometry.Domain, access lbm.AccessMod
 		if err != nil {
 			return err
 		}
-		direct, err := c.PredictDirect(w)
+		direct, err := c.Predict(perfmodel.Request{Model: perfmodel.ModelDirect, Workload: &w})
 		if err != nil {
 			return err
 		}
-		general, err := c.PredictGeneral(ws, g, ranks)
+		general, err := c.Predict(perfmodel.Request{Model: perfmodel.ModelGeneral, Summary: &ws, General: g, Ranks: ranks})
 		if err != nil {
 			return err
 		}
@@ -200,7 +200,7 @@ func Fig9() (Report, error) {
 		if err != nil {
 			return Report{}, err
 		}
-		pred, err := c.PredictDirect(w)
+		pred, err := c.Predict(perfmodel.Request{Model: perfmodel.ModelDirect, Workload: &w})
 		if err != nil {
 			return Report{}, err
 		}
@@ -246,7 +246,7 @@ func Fig10() (Report, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%8s %14s %14s %14s\n", "ranks", "mem (s)", "comm-bw (s)", "comm-lat (s)")
 	for _, ranks := range rankSweep(sys) {
-		pred, err := c.PredictGeneral(ws, g, ranks)
+		pred, err := c.Predict(perfmodel.Request{Model: perfmodel.ModelGeneral, Summary: &ws, General: g, Ranks: ranks})
 		if err != nil {
 			return Report{}, err
 		}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// This file renders a metrics snapshot in the Prometheus text exposition
+// format, the lingua franca of scrape-based monitoring: one `# TYPE`
+// header per instrument family, then one line per label set. Histograms
+// expand into cumulative `_bucket` series (le-labeled, with the +Inf
+// overflow), `_sum`, and `_count`, so standard dashboards can derive
+// quantiles. The output is deterministic for a given snapshot: Snapshot
+// already sorts instruments, and label sets render in canonical order.
+
+// sanitizeMetricName maps an instrument name onto the exposition
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*, replacing every other rune with '_'.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double quote and newline per the
+// exposition format.
+func escapeLabelValue(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// formatExpoValue renders a sample value; +Inf/-Inf/NaN use the
+// exposition spellings.
+func formatExpoValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// labelString renders a label set (plus optional extra labels) as
+// {k="v",...}, or "" when empty.
+func labelString(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(all))
+	for _, l := range all {
+		parts = append(parts, fmt.Sprintf("%s=\"%s\"", sanitizeMetricName(l.Key), escapeLabelValue(l.Value)))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WriteMetricsText writes the snapshot in the Prometheus text
+// exposition format. Instruments sharing a name emit one TYPE header
+// for the first occurrence only.
+func WriteMetricsText(w io.Writer, ms []Metric) error {
+	typed := map[string]bool{}
+	for _, m := range ms {
+		name := sanitizeMetricName(m.Name)
+		if !typed[name] {
+			typed[name] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, m.Type); err != nil {
+				return err
+			}
+		}
+		switch m.Type {
+		case "histogram":
+			var cum uint64
+			for i, c := range m.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(m.BucketLE) {
+					le = formatExpoValue(m.BucketLE[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					name, labelString(m.Labels, L("le", le)), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labelString(m.Labels), formatExpoValue(m.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(m.Labels), m.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", name, labelString(m.Labels), formatExpoValue(m.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteMetricsTextCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", L("endpoint", "/v1/predict"), L("code", "200")).Add(3)
+	r.Counter("requests_total", L("endpoint", "/v1/predict"), L("code", "429")).Inc()
+	r.Gauge("inflight").Set(2)
+
+	var b strings.Builder
+	if err := WriteMetricsText(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE requests_total counter",
+		`requests_total{code="200",endpoint="/v1/predict"} 3`,
+		`requests_total{code="429",endpoint="/v1/predict"} 1`,
+		"# TYPE inflight gauge",
+		"inflight 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE header per family even with two label sets.
+	if n := strings.Count(out, "# TYPE requests_total"); n != 1 {
+		t.Errorf("requests_total TYPE header emitted %d times", n)
+	}
+}
+
+func TestWriteMetricsTextHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := WriteMetricsText(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_sum 5.55",
+		"latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteMetricsTextEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird-name.total", L("path", `C:\tmp`), L("quote", `say "hi"`)).Inc()
+
+	var b strings.Builder
+	if err := WriteMetricsText(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "weird_name_total") {
+		t.Errorf("name not sanitized:\n%s", out)
+	}
+	if !strings.Contains(out, `path="C:\\tmp"`) {
+		t.Errorf("backslash not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `quote="say \"hi\""`) {
+		t.Errorf("quote not escaped:\n%s", out)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"ok_name:x9": "ok_name:x9",
+		"9starts":    "_starts",
+		"a b-c":      "a_b_c",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

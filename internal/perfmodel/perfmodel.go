@@ -154,15 +154,24 @@ type Prediction struct {
 // PredictDirect evaluates the direct model on an actual decomposed
 // workload (Eq. 6 over Eq. 9 byte counts and real halo messages),
 // assuming node-exclusive allocation as the paper's experiments had.
+//
+// Deprecated: use Predict with a Request carrying Workload.
 func (c *Characterization) PredictDirect(w simcloud.Workload) (Prediction, error) {
-	return c.PredictDirectShared(w, 0)
+	return c.Predict(Request{Model: ModelDirect, Workload: &w})
 }
 
 // PredictDirectShared evaluates the direct model on a multi-tenant node:
 // occupancy (0..1) is the assumed fraction of the node's remaining cores
 // busy with other users' memory traffic — the shared-node consideration
 // the paper's Discussion describes.
+//
+// Deprecated: use Predict with a Request carrying Workload and Occupancy.
 func (c *Characterization) PredictDirectShared(w simcloud.Workload, occupancy float64) (Prediction, error) {
+	return c.Predict(Request{Model: ModelDirect, Workload: &w, Occupancy: occupancy})
+}
+
+// predictDirect is the direct-model implementation behind Predict.
+func (c *Characterization) predictDirect(w simcloud.Workload, occupancy float64) (Prediction, error) {
 	ranks := len(w.Tasks)
 	if ranks == 0 {
 		return Prediction{}, fmt.Errorf("perfmodel: empty workload %q", w.Name)
@@ -264,7 +273,14 @@ func (e EventsLaw) Eval(ntasks, nn float64) float64 {
 // workload summary at the given rank count. Rank counts may exceed the
 // characterized instance's size — the paper's Figure 11 extrapolates the
 // aorta to 2048 cores on 144-core cloud instances this way.
+//
+// Deprecated: use Predict with a Request carrying Summary, General and Ranks.
 func (c *Characterization) PredictGeneral(ws WorkloadSummary, g GeneralModel, ranks int) (Prediction, error) {
+	return c.Predict(Request{Model: ModelGeneral, Summary: &ws, General: g, Ranks: ranks})
+}
+
+// predictGeneral is the generalized-model implementation behind Predict.
+func (c *Characterization) predictGeneral(ws WorkloadSummary, g GeneralModel, ranks int) (Prediction, error) {
 	if ranks < 1 {
 		return Prediction{}, fmt.Errorf("perfmodel: ranks %d must be positive", ranks)
 	}

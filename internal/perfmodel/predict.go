@@ -1,0 +1,110 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"repro/internal/simcloud"
+)
+
+// This file is the package's single prediction entrypoint. The four
+// historical entrypoints (PredictDirect, PredictDirectShared,
+// PredictGeneral, PredictWithTerms) survive as thin deprecated wrappers
+// so published call sites keep compiling, but every internal caller —
+// campaign, fleet placement, the dashboard, the experiment harness, and
+// the HTTP planning service — goes through Predict, so a behavior change
+// lands in exactly one place.
+
+// Model names for Request.Model and Prediction.Model.
+const (
+	// ModelDirect is the Section II-D direct model: it prices an actual
+	// parallel decomposition (every task's bytes and halo messages).
+	ModelDirect = "direct"
+	// ModelGeneral is the generalized model: it estimates the
+	// decomposition a priori from scalar workload descriptors.
+	ModelGeneral = "generalized"
+)
+
+// Request carries the inputs of one model evaluation. Exactly one input
+// family must be populated: Workload for the direct model, Summary (plus
+// General and Ranks) for the generalized model. Model may be left empty
+// when the populated family makes the choice unambiguous.
+type Request struct {
+	// Model selects the predictor: ModelDirect, ModelGeneral, or ""
+	// to infer from whichever of Workload/Summary is set.
+	Model string
+
+	// Workload is the decomposed workload the direct model prices.
+	Workload *simcloud.Workload
+
+	// Occupancy (direct model only) is the assumed fraction of the
+	// node's remaining cores busy with other tenants' memory traffic,
+	// in [0,1]. Zero models the paper's node-exclusive allocation.
+	Occupancy float64
+
+	// Terms (direct model only) are extra runtime components from the
+	// model-growth feedback loop, added on top of the base prediction.
+	Terms []Term
+
+	// Summary is the scalar workload description the generalized model
+	// works from.
+	Summary *WorkloadSummary
+
+	// General carries the anatomy-tuned empirical laws (z-law, event
+	// law, per-point comm bytes) the generalized model needs.
+	General GeneralModel
+
+	// Ranks is the task count for the generalized model. For the direct
+	// model it is implied by the decomposition; a non-zero value that
+	// disagrees with len(Workload.Tasks) is rejected.
+	Ranks int
+}
+
+// Predict evaluates the requested model. It is the one call path behind
+// both the CLI tools and the serving layer's POST /v1/predict.
+func (c *Characterization) Predict(req Request) (Prediction, error) {
+	model := req.Model
+	if model == "" {
+		switch {
+		case req.Workload != nil && req.Summary != nil:
+			return Prediction{}, fmt.Errorf("perfmodel: request carries both a decomposed workload and a summary; set Model to disambiguate")
+		case req.Workload != nil:
+			model = ModelDirect
+		case req.Summary != nil:
+			model = ModelGeneral
+		default:
+			return Prediction{}, fmt.Errorf("perfmodel: request carries neither a decomposed workload nor a workload summary")
+		}
+	}
+	switch model {
+	case ModelDirect:
+		if req.Workload == nil {
+			return Prediction{}, fmt.Errorf("perfmodel: direct model needs a decomposed workload")
+		}
+		if req.Ranks != 0 && req.Ranks != len(req.Workload.Tasks) {
+			return Prediction{}, fmt.Errorf("perfmodel: request asks for %d ranks but the workload decomposes into %d tasks",
+				req.Ranks, len(req.Workload.Tasks))
+		}
+		base, err := c.predictDirect(*req.Workload, req.Occupancy)
+		if err != nil {
+			return Prediction{}, err
+		}
+		if len(req.Terms) == 0 {
+			return base, nil
+		}
+		out := base
+		for _, term := range req.Terms {
+			out.SecondsPerStep += term.Eval(*req.Workload, base)
+		}
+		out.MFLUPS = float64(req.Workload.Points) / out.SecondsPerStep / 1e6
+		return out, nil
+	case ModelGeneral:
+		if req.Summary == nil {
+			return Prediction{}, fmt.Errorf("perfmodel: generalized model needs a workload summary")
+		}
+		if len(req.Terms) > 0 {
+			return Prediction{}, fmt.Errorf("perfmodel: terms apply to the direct model only")
+		}
+		return c.predictGeneral(*req.Summary, req.General, req.Ranks)
+	}
+	return Prediction{}, fmt.Errorf("perfmodel: unknown model %q", model)
+}

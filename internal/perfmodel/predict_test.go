@@ -1,0 +1,140 @@
+package perfmodel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/decomp"
+	"repro/internal/lbm"
+	"repro/internal/machine"
+	"repro/internal/simcloud"
+)
+
+func testWorkload(t *testing.T, ranks int) (*lbm.Sparse, simcloud.Workload) {
+	t.Helper()
+	s := cylinderSolver(t)
+	p, err := decomp.RCB(s, ranks, lbm.HarveyAccess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, simcloud.FromPartition("cyl", s.N(), p)
+}
+
+// TestPredictMatchesDeprecatedEntrypoints pins the API redesign's core
+// contract: the unified Predict call returns byte-identical predictions
+// to each of the historical entrypoints it replaced.
+func TestPredictMatchesDeprecatedEntrypoints(t *testing.T) {
+	c := characterizeNoiseless(t, machine.NewCSP2())
+	s, w := testWorkload(t, 16)
+
+	wantDirect, err := c.PredictDirect(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDirect, err := c.Predict(Request{Workload: &w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDirect != wantDirect {
+		t.Errorf("Predict(direct) = %+v, want %+v", gotDirect, wantDirect)
+	}
+
+	wantShared, err := c.PredictDirectShared(w, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotShared, err := c.Predict(Request{Model: ModelDirect, Workload: &w, Occupancy: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotShared != wantShared {
+		t.Errorf("Predict(direct, occupancy) = %+v, want %+v", gotShared, wantShared)
+	}
+
+	g, err := CalibrateGeneral(s, lbm.HarveyAccess(), []int{1, 2, 4, 8, 16, 32}, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := WorkloadSummary{Name: "cyl", Points: s.N(), BytesSerial: s.BytesSerial(lbm.HarveyAccess())}
+	wantGen, err := c.PredictGeneral(ws, g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotGen, err := c.Predict(Request{Summary: &ws, General: g, Ranks: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotGen != wantGen {
+		t.Errorf("Predict(general) = %+v, want %+v", gotGen, wantGen)
+	}
+}
+
+func TestPredictInfersModel(t *testing.T) {
+	c := characterizeNoiseless(t, machine.NewCSP2())
+	s, w := testWorkload(t, 8)
+
+	p, err := c.Predict(Request{Workload: &w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Model != ModelDirect {
+		t.Errorf("inferred model %q, want %q", p.Model, ModelDirect)
+	}
+
+	g, err := CalibrateGeneral(s, lbm.HarveyAccess(), []int{1, 2, 4, 8}, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := WorkloadSummary{Name: "cyl", Points: s.N(), BytesSerial: s.BytesSerial(lbm.HarveyAccess())}
+	p, err = c.Predict(Request{Summary: &ws, General: g, Ranks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Model != ModelGeneral {
+		t.Errorf("inferred model %q, want %q", p.Model, ModelGeneral)
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	c := characterizeNoiseless(t, machine.NewCSP2())
+	s, w := testWorkload(t, 8)
+	g, err := CalibrateGeneral(s, lbm.HarveyAccess(), []int{1, 2, 4, 8}, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := WorkloadSummary{Name: "cyl", Points: s.N(), BytesSerial: s.BytesSerial(lbm.HarveyAccess())}
+
+	cases := []struct {
+		name string
+		req  Request
+		want string
+	}{
+		{"empty", Request{}, "neither"},
+		{"ambiguous", Request{Workload: &w, Summary: &ws}, "disambiguate"},
+		{"ranks disagree", Request{Workload: &w, Ranks: 99}, "decomposes into"},
+		{"terms on general", Request{Summary: &ws, General: g, Ranks: 8, Terms: []Term{CouplingTerm("coupling", 1)}}, "direct model only"},
+		{"direct without workload", Request{Model: ModelDirect}, "needs a decomposed workload"},
+		{"general without summary", Request{Model: ModelGeneral}, "needs a workload summary"},
+		{"unknown model", Request{Model: "quantum", Workload: &w}, "unknown model"},
+	}
+	for _, tc := range cases {
+		_, err := c.Predict(tc.req)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestPredictRanksConsistent accepts an explicit rank count that agrees
+// with the decomposition.
+func TestPredictRanksConsistent(t *testing.T) {
+	c := characterizeNoiseless(t, machine.NewCSP2())
+	_, w := testWorkload(t, 8)
+	if _, err := c.Predict(Request{Workload: &w, Ranks: len(w.Tasks)}); err != nil {
+		t.Fatalf("consistent ranks rejected: %v", err)
+	}
+}

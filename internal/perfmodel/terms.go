@@ -117,7 +117,7 @@ func (c *Characterization) SelectTerms(candidates []Term, obs []Observation, min
 	// Precompute base predictions once per observation.
 	bases := make([]Prediction, len(obs))
 	for i, o := range obs {
-		p, err := c.PredictDirect(o.Workload)
+		p, err := c.Predict(Request{Model: ModelDirect, Workload: &obs[i].Workload})
 		if err != nil {
 			return SelectionResult{}, err
 		}
@@ -167,15 +167,8 @@ func (c *Characterization) SelectTerms(candidates []Term, obs []Observation, min
 }
 
 // PredictWithTerms evaluates the direct model plus the given terms.
+//
+// Deprecated: use Predict with a Request carrying Workload and Terms.
 func (c *Characterization) PredictWithTerms(w simcloud.Workload, terms []Term) (Prediction, error) {
-	base, err := c.PredictDirect(w)
-	if err != nil {
-		return Prediction{}, err
-	}
-	out := base
-	for _, term := range terms {
-		out.SecondsPerStep += term.Eval(w, base)
-	}
-	out.MFLUPS = float64(w.Points) / out.SecondsPerStep / 1e6
-	return out, nil
+	return c.Predict(Request{Model: ModelDirect, Workload: &w, Terms: terms})
 }

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/perfmodel"
+)
+
+// This file defines the versioned JSON vocabulary of the /v1 API. Field
+// names are frozen: additive evolution only — a breaking change means a
+// /v2 prefix, never a mutation of these shapes.
+
+// WorkloadSpec names a simulation domain in the campaign geometry
+// vocabulary at a lattice scale. Together with a system abbreviation and
+// a calibration seed it forms the calibration cache key, so two requests
+// that agree on these fields share one calibration.
+type WorkloadSpec struct {
+	Geometry string  `json:"geometry"`
+	Scale    float64 `json:"scale"`
+}
+
+// key renders the workload component of the cache key. %g keeps it
+// deterministic: equal float64 scales render identically.
+func (w WorkloadSpec) key() string { return fmt.Sprintf("%s@%g", w.Geometry, w.Scale) }
+
+func (w WorkloadSpec) validate() error {
+	if w.Geometry == "" {
+		return fmt.Errorf("workload.geometry is required")
+	}
+	if w.Scale <= 0 {
+		return fmt.Errorf("workload.scale %g must be positive", w.Scale)
+	}
+	return nil
+}
+
+// PredictRequest asks for model predictions for one workload across
+// instance types and rank counts — the batch is the cross product
+// Systems × Ranks. Leaving Systems empty predicts on the server's whole
+// catalog (the paper's Table I systems).
+type PredictRequest struct {
+	Workload WorkloadSpec `json:"workload"`
+	Systems  []string     `json:"systems,omitempty"`
+	Ranks    []int        `json:"ranks"`
+
+	// Model is perfmodel.ModelDirect or perfmodel.ModelGeneral; empty
+	// selects the generalized model, the hot stateless path.
+	Model string `json:"model,omitempty"`
+
+	// Occupancy models shared-node co-tenancy (direct model only).
+	Occupancy float64 `json:"occupancy,omitempty"`
+
+	// Seed selects the calibration noise seed; 0 uses the server
+	// default. Identical seeds hit identical cache entries.
+	Seed int64 `json:"seed,omitempty"`
+
+	// TimeoutMS tightens this request's deadline below the server
+	// ceiling; 0 inherits the ceiling.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+func (r PredictRequest) validate() error {
+	if err := r.Workload.validate(); err != nil {
+		return err
+	}
+	if len(r.Ranks) == 0 {
+		return fmt.Errorf("ranks is required (one prediction per rank count)")
+	}
+	for _, k := range r.Ranks {
+		if k < 1 {
+			return fmt.Errorf("ranks entry %d must be positive", k)
+		}
+	}
+	switch r.Model {
+	case "", perfmodel.ModelDirect, perfmodel.ModelGeneral:
+	default:
+		return fmt.Errorf("model %q must be %q or %q", r.Model, perfmodel.ModelDirect, perfmodel.ModelGeneral)
+	}
+	if r.Occupancy < 0 || r.Occupancy > 1 {
+		return fmt.Errorf("occupancy %g outside [0,1]", r.Occupancy)
+	}
+	return nil
+}
+
+// PredictionJSON is one model evaluation in a response.
+type PredictionJSON struct {
+	System         string  `json:"system"`
+	Model          string  `json:"model"`
+	Ranks          int     `json:"ranks"`
+	MFLUPS         float64 `json:"mflups"`
+	SecondsPerStep float64 `json:"seconds_per_step"`
+
+	// Runtime composition of the gating task (Figures 9 and 10).
+	MemS           float64 `json:"mem_s,omitempty"`
+	IntraS         float64 `json:"intra_s,omitempty"`
+	InterS         float64 `json:"inter_s,omitempty"`
+	CPUGPUs        float64 `json:"cpu_gpu_s,omitempty"`
+	CommBandwidthS float64 `json:"comm_bandwidth_s,omitempty"`
+	CommLatencyS   float64 `json:"comm_latency_s,omitempty"`
+}
+
+func predictionJSON(p perfmodel.Prediction) PredictionJSON {
+	return PredictionJSON{
+		System:         p.System,
+		Model:          p.Model,
+		Ranks:          p.Ranks,
+		MFLUPS:         p.MFLUPS,
+		SecondsPerStep: p.SecondsPerStep,
+		MemS:           p.MemS,
+		IntraS:         p.IntraS,
+		InterS:         p.InterS,
+		CPUGPUs:        p.CPUGPUs,
+		CommBandwidthS: p.CommBandwidthS,
+		CommLatencyS:   p.CommLatencyS,
+	}
+}
+
+// PredictResponse carries the batch plus this request's cache activity:
+// how many calibrations were served from cache, how many it had to run,
+// and how many rode on another in-flight request's work.
+type PredictResponse struct {
+	Predictions    []PredictionJSON `json:"predictions"`
+	CacheHits      int              `json:"cache_hits"`
+	CacheMisses    int              `json:"cache_misses"`
+	CacheCoalesced int              `json:"cache_coalesced"`
+}
+
+// PlanRequest asks for a cost-bounded instance recommendation for a
+// job of Steps timesteps at Ranks tasks.
+type PlanRequest struct {
+	Workload WorkloadSpec `json:"workload"`
+	Ranks    int          `json:"ranks"`
+	Steps    int          `json:"steps"`
+
+	// Objective is max-throughput, min-cost, min-time or max-value
+	// (default).
+	Objective string `json:"objective,omitempty"`
+
+	// MaxUSD excludes systems whose predicted job cost exceeds it
+	// (0 = unbounded); DeadlineS excludes systems whose predicted time
+	// to solution exceeds it (0 = none).
+	MaxUSD    float64 `json:"max_usd,omitempty"`
+	DeadlineS float64 `json:"deadline_s,omitempty"`
+
+	Systems   []string `json:"systems,omitempty"`
+	Seed      int64    `json:"seed,omitempty"`
+	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+}
+
+func (r PlanRequest) validate() error {
+	if err := r.Workload.validate(); err != nil {
+		return err
+	}
+	if r.Ranks < 1 {
+		return fmt.Errorf("ranks %d must be positive", r.Ranks)
+	}
+	if r.Steps < 1 {
+		return fmt.Errorf("steps %d must be positive", r.Steps)
+	}
+	if r.MaxUSD < 0 {
+		return fmt.Errorf("max_usd %g negative", r.MaxUSD)
+	}
+	if r.DeadlineS < 0 {
+		return fmt.Errorf("deadline_s %g negative", r.DeadlineS)
+	}
+	return nil
+}
+
+// AssessmentJSON is one instance type's predicted verdict for the job.
+type AssessmentJSON struct {
+	System              string  `json:"system"`
+	Ranks               int     `json:"ranks"`
+	MFLUPS              float64 `json:"mflups"`
+	Seconds             float64 `json:"seconds"`
+	USD                 float64 `json:"usd"`
+	MFLUPSPerDollarHour float64 `json:"mflups_per_dollar_hour"`
+}
+
+// PlanResponse reports the recommendation. Recommended is null when no
+// system satisfies the bounds; Excluded explains each cut.
+type PlanResponse struct {
+	Recommended *AssessmentJSON  `json:"recommended"`
+	Objective   string           `json:"objective"`
+	Assessments []AssessmentJSON `json:"assessments"`
+	// Pareto is the time/cost frontier among the feasible systems,
+	// fastest first — the set worth showing a user who wants to make
+	// the trade-off personally.
+	Pareto   []AssessmentJSON `json:"pareto,omitempty"`
+	Excluded []string         `json:"excluded,omitempty"`
+}
+
+// CampaignRequest submits a campaign for asynchronous execution.
+// Config is a complete campaign configuration (the same schema the
+// campaign and fleet CLIs load); Backend selects the engine: "serial",
+// "fleet", or ""/"auto" to infer from the config's fleet block.
+type CampaignRequest struct {
+	Backend string          `json:"backend,omitempty"`
+	Config  json.RawMessage `json:"config"`
+}
+
+// CampaignQueuedResponse acknowledges an accepted submission.
+type CampaignQueuedResponse struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// Campaign lifecycle states.
+const (
+	CampaignQueued  = "queued"
+	CampaignRunning = "running"
+	CampaignDone    = "done"
+	CampaignFailed  = "failed"
+)
+
+// CampaignStatusResponse reports an async campaign's progress. Report
+// and the numeric fields populate once the run finishes.
+type CampaignStatusResponse struct {
+	ID       string   `json:"id"`
+	State    string   `json:"state"`
+	Backend  string   `json:"backend,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	Report   string   `json:"report,omitempty"`
+	Warnings []string `json:"warnings,omitempty"`
+	SpentUSD float64  `json:"spent_usd,omitempty"`
+}
+
+// HealthResponse is the /v1/healthz body.
+type HealthResponse struct {
+	Status       string  `json:"status"`
+	UptimeS      float64 `json:"uptime_s"`
+	CacheEntries int     `json:"cache_entries"`
+	Campaigns    int     `json:"campaigns_inflight"`
+}
+
+// ErrorResponse is the uniform error body for every non-2xx status.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

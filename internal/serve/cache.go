@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// calibCache is a bounded LRU of calibrations with request coalescing:
+// the expensive fill for a missing key runs exactly once, on the first
+// caller's goroutine, while concurrent callers for the same key park on
+// the fill's done channel. This is the serving layer's core economic
+// bet — calibration costs seconds, model evaluation costs microseconds —
+// so the cache turns the paper's decision procedure into a hot,
+// effectively stateless call.
+//
+// Fill errors propagate to every parked waiter but are NOT cached: a
+// transient failure must not poison the key. Waiters abandoned by their
+// own context return its error; the fill keeps running under the filling
+// caller and still populates the cache for future requests.
+type calibCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List               // front = most recently used
+	items map[string]*list.Element // key -> element holding *cacheEntry
+	fills map[string]*fillCall
+}
+
+type cacheEntry struct {
+	key string
+	val *calibration
+}
+
+type fillCall struct {
+	done chan struct{}
+	val  *calibration
+	err  error
+}
+
+// cacheResult classifies how a get was satisfied.
+type cacheResult int
+
+const (
+	cacheMiss cacheResult = iota
+	cacheHit
+	cacheCoalesced
+)
+
+func newCalibCache(capacity int) *calibCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &calibCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+		fills: make(map[string]*fillCall),
+	}
+}
+
+// get returns the calibration for key, running build on a miss. The
+// cacheResult reports whether the value was resident, built here, or
+// built by a concurrent request this call coalesced onto.
+func (c *calibCache) get(ctx context.Context, key string, build func() (*calibration, error)) (*calibration, cacheResult, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		entry, ok := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		if !ok {
+			return nil, cacheHit, fmt.Errorf("serve: cache entry for %q has wrong type", key)
+		}
+		return entry.val, cacheHit, nil
+	}
+	if f, ok := c.fills[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, cacheCoalesced, f.err
+		case <-ctx.Done():
+			return nil, cacheCoalesced, ctx.Err()
+		}
+	}
+	f := &fillCall{done: make(chan struct{})}
+	c.fills[key] = f
+	c.mu.Unlock()
+
+	f.val, f.err = build()
+
+	c.mu.Lock()
+	delete(c.fills, key)
+	if f.err == nil {
+		c.insertLocked(key, f.val)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, cacheMiss, f.err
+}
+
+// insertLocked adds a value and evicts from the LRU tail past capacity.
+// Caller holds c.mu.
+func (c *calibCache) insertLocked(key string, v *calibration) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		if entry, ok := el.Value.(*cacheEntry); ok {
+			entry.val = v
+		}
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: v})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		if back == nil {
+			return
+		}
+		if entry, ok := back.Value.(*cacheEntry); ok {
+			delete(c.items, entry.key)
+		}
+		c.ll.Remove(back)
+	}
+}
+
+// len returns the resident entry count.
+func (c *calibCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

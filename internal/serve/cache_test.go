@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCacheHammer drives the LRU + singleflight from 32 goroutines
+// under -race: every key's expensive build must run at most a handful
+// of times (once per residency; eviction can force rebuilds but
+// concurrent callers always coalesce), every caller for one key gets
+// the same value, and the internal counters stay consistent.
+func TestCacheHammer(t *testing.T) {
+	const (
+		goroutines = 32
+		iters      = 200
+		keys       = 4
+	)
+	c := newCalibCache(keys) // capacity >= keys: no eviction churn
+	var builds atomic.Int64
+	vals := make([]*calibration, keys)
+	for i := range vals {
+		vals[i] = &calibration{}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (g + i) % keys
+				val, _, err := c.get(context.Background(), fmt.Sprintf("key-%d", k), func() (*calibration, error) {
+					builds.Add(1)
+					time.Sleep(time.Millisecond) // widen the coalescing window
+					return vals[k], nil
+				})
+				if err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				if val != vals[k] {
+					t.Errorf("key %d returned wrong value", k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if n := builds.Load(); n != keys {
+		t.Errorf("build ran %d times for %d keys; coalescing failed", n, keys)
+	}
+	if c.len() != keys {
+		t.Errorf("cache holds %d entries, want %d", c.len(), keys)
+	}
+}
+
+// TestCacheCoalescedResult verifies the three-way result
+// classification: first caller misses, resident callers hit, and a
+// caller arriving mid-fill reports coalesced.
+func TestCacheCoalescedResult(t *testing.T) {
+	c := newCalibCache(4)
+	val := &calibration{}
+	filling := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, res, err := c.get(context.Background(), "k", func() (*calibration, error) {
+			close(filling)
+			<-release
+			return val, nil
+		})
+		if err != nil || res != cacheMiss {
+			t.Errorf("filler: res %v, err %v; want miss", res, err)
+		}
+	}()
+	<-filling
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got, res, err := c.get(context.Background(), "k", func() (*calibration, error) {
+			t.Error("second build ran during in-flight fill")
+			return nil, nil
+		})
+		if err != nil || res != cacheCoalesced || got != val {
+			t.Errorf("waiter: got %p res %v err %v; want coalesced %p", got, res, err, val)
+		}
+	}()
+	// Let the waiter park on the fill before releasing it.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	_, res, err := c.get(context.Background(), "k", func() (*calibration, error) {
+		t.Error("build ran for resident key")
+		return nil, nil
+	})
+	if err != nil || res != cacheHit {
+		t.Errorf("resident: res %v, err %v; want hit", res, err)
+	}
+}
+
+// TestCacheWaiterHonorsContext: a coalesced waiter abandoned by its own
+// deadline returns promptly with the context error while the fill keeps
+// going and still lands in the cache.
+func TestCacheWaiterHonorsContext(t *testing.T) {
+	c := newCalibCache(4)
+	val := &calibration{}
+	filling := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := c.get(context.Background(), "k", func() (*calibration, error) {
+			close(filling)
+			<-release
+			return val, nil
+		})
+		if err != nil {
+			t.Errorf("filler: %v", err)
+		}
+	}()
+	<-filling
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, _, err := c.get(ctx, "k", func() (*calibration, error) { return nil, nil })
+	if err == nil || ctx.Err() == nil {
+		t.Errorf("abandoned waiter: err %v, ctx %v; want deadline", err, ctx.Err())
+	}
+
+	close(release)
+	wg.Wait()
+	got, res, err := c.get(context.Background(), "k", func() (*calibration, error) {
+		t.Error("build ran again: abandoned fill was lost")
+		return nil, nil
+	})
+	if err != nil || res != cacheHit || got != val {
+		t.Errorf("post-abandon: got %p res %v err %v", got, res, err)
+	}
+}
+
+// TestCacheErrorNotCached: a failed fill propagates but must not poison
+// the key.
+func TestCacheErrorNotCached(t *testing.T) {
+	c := newCalibCache(4)
+	boom := fmt.Errorf("transient")
+	if _, res, err := c.get(context.Background(), "k", func() (*calibration, error) {
+		return nil, boom
+	}); err != boom || res != cacheMiss {
+		t.Fatalf("failed fill: res %v err %v", res, err)
+	}
+	val := &calibration{}
+	got, res, err := c.get(context.Background(), "k", func() (*calibration, error) {
+		return val, nil
+	})
+	if err != nil || res != cacheMiss || got != val {
+		t.Fatalf("retry after failure: got %p res %v err %v", got, res, err)
+	}
+}
+
+// TestCacheEviction: past capacity the least recently used key is
+// evicted and must rebuild on the next request.
+func TestCacheEviction(t *testing.T) {
+	c := newCalibCache(2)
+	builds := map[string]int{}
+	fill := func(k string) func() (*calibration, error) {
+		return func() (*calibration, error) {
+			builds[k]++
+			return &calibration{}, nil
+		}
+	}
+	mustGet := func(k string) cacheResult {
+		t.Helper()
+		_, res, err := c.get(context.Background(), k, fill(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	mustGet("a")
+	mustGet("b")
+	mustGet("a") // refresh a: b is now LRU
+	mustGet("c") // evicts b
+	if c.len() != 2 {
+		t.Fatalf("len %d, want 2", c.len())
+	}
+	if res := mustGet("a"); res != cacheHit {
+		t.Errorf("a should be resident, got %v", res)
+	}
+	if res := mustGet("b"); res != cacheMiss {
+		t.Errorf("b should have been evicted, got %v", res)
+	}
+	if builds["b"] != 2 {
+		t.Errorf("b built %d times, want 2", builds["b"])
+	}
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/lbm"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/simcloud"
+)
+
+// calibKey is the calibration cache identity. Determinism contract:
+// everything the calibration computes is a pure function of these three
+// fields plus server-constant configuration (Samples, the catalog's
+// largest node width), so equal keys always yield byte-identical model
+// state and the cache can never serve a stale or divergent entry.
+type calibKey struct {
+	System   string
+	Workload string // WorkloadSpec.key(): "geometry@scale"
+	Seed     int64
+}
+
+func (k calibKey) String() string {
+	return fmt.Sprintf("%s|%s|%d", k.System, k.Workload, k.Seed)
+}
+
+// calibration bundles the expensive model state for one cache key:
+// phase one's microbenchmark characterization of the system and phase
+// two's anatomy-tuned generalized model, plus memoized decompositions
+// for the direct model's rank counts.
+type calibration struct {
+	sys     *machine.System
+	char    *perfmodel.Characterization
+	summary perfmodel.WorkloadSummary
+	general perfmodel.GeneralModel
+	solver  *lbm.Sparse
+	access  lbm.AccessModel
+
+	mu        sync.Mutex
+	workloads map[int]simcloud.Workload
+}
+
+// buildCalibration runs the cold path: characterize the system from
+// microbenchmarks, build the workload geometry and solver, and tune the
+// generalized model to it. ctx is checked between the expensive stages,
+// so a deadline-bound request abandons the build promptly; the stages
+// themselves are uninterruptible.
+func (s *Server) buildCalibration(ctx context.Context, key calibKey, spec WorkloadSpec) (*calibration, error) {
+	sys, err := s.system(key.System)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(key.Seed))
+	char, err := perfmodel.Characterize(sys, s.cfg.Samples, rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	dom, err := campaign.BuildGeometry(spec.Geometry, spec.Scale)
+	if err != nil {
+		return nil, &apiError{status: 400, msg: err.Error()}
+	}
+	solver, err := lbm.NewSparse(dom, lbm.Params{Tau: 0.9, UMax: 0.02})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	access := lbm.HarveyAccess()
+	general, err := perfmodel.CalibrateGeneral(solver, access, core.CalibrationCounts(solver.N()), s.coresPerNode)
+	if err != nil {
+		return nil, err
+	}
+	return &calibration{
+		sys:  sys,
+		char: char,
+		summary: perfmodel.WorkloadSummary{
+			Name:        spec.Geometry,
+			Points:      solver.N(),
+			BytesSerial: solver.BytesSerial(access),
+		},
+		general:   general,
+		solver:    solver,
+		access:    access,
+		workloads: make(map[int]simcloud.Workload),
+	}, nil
+}
+
+// calibrationFor resolves the cache key and serves the calibration from
+// the LRU, coalescing concurrent identical builds.
+func (s *Server) calibrationFor(ctx context.Context, system string, spec WorkloadSpec, seed int64) (*calibration, cacheResult, error) {
+	key := calibKey{System: system, Workload: spec.key(), Seed: seed}
+	cal, res, err := s.cache.get(ctx, key.String(), func() (*calibration, error) {
+		return s.buildCalibration(ctx, key, spec)
+	})
+	switch res {
+	case cacheHit:
+		s.cacheHits.Inc()
+	case cacheMiss:
+		s.cacheMisses.Inc()
+	case cacheCoalesced:
+		s.cacheCoalesced.Inc()
+	}
+	return cal, res, err
+}
+
+// workload returns the RCB decomposition at the given rank count,
+// memoizing per calibration — the direct model's analogue of the
+// cached generalized laws.
+func (c *calibration) workload(ranks int) (simcloud.Workload, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w, ok := c.workloads[ranks]; ok {
+		return w, nil
+	}
+	p, err := decomp.RCB(c.solver, ranks, c.access)
+	if err != nil {
+		return simcloud.Workload{}, err
+	}
+	w := simcloud.FromPartition(c.summary.Name, c.solver.N(), p)
+	c.workloads[ranks] = w
+	return w, nil
+}
+
+// predict evaluates the requested model through the unified perfmodel
+// Predict API.
+func (c *calibration) predict(model string, ranks int, occupancy float64) (perfmodel.Prediction, error) {
+	if model == perfmodel.ModelDirect {
+		w, err := c.workload(ranks)
+		if err != nil {
+			return perfmodel.Prediction{}, err
+		}
+		return c.char.Predict(perfmodel.Request{
+			Model:     perfmodel.ModelDirect,
+			Workload:  &w,
+			Occupancy: occupancy,
+		})
+	}
+	return c.char.Predict(perfmodel.Request{
+		Model:   perfmodel.ModelGeneral,
+		Summary: &c.summary,
+		General: c.general,
+		Ranks:   ranks,
+	})
+}
