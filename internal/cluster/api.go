@@ -1,0 +1,47 @@
+package cluster
+
+// This file is the router's own JSON vocabulary. The /v1 planning
+// endpoints proxied to replicas keep internal/serve's shapes untouched;
+// these types cover only what the router adds: topology introspection,
+// drain control, and the aggregate health view.
+
+// ReplicaStatus is one replica's row in the topology report.
+type ReplicaStatus struct {
+	Name     string `json:"name"`
+	BaseURL  string `json:"base_url,omitempty"`
+	State    string `json:"state"`
+	Failures int    `json:"failures,omitempty"`
+}
+
+// TopologyResponse is the GET /v1/cluster body: the fleet, the ring
+// membership, and each healthy replica's share of a sampled keyspace —
+// the operator's view of balance.
+type TopologyResponse struct {
+	Replicas    []ReplicaStatus    `json:"replicas"`
+	RingMembers []string           `json:"ring_members"`
+	Vnodes      int                `json:"vnodes"`
+	Seed        int64              `json:"seed"`
+	KeyShare    map[string]float64 `json:"key_share,omitempty"`
+}
+
+// DrainResponse acknowledges a drain/undrain transition.
+type DrainResponse struct {
+	Replica string `json:"replica"`
+	State   string `json:"state"`
+}
+
+// RouterHealthResponse is the router's GET /v1/healthz body. Status is
+// "ok" while at least one replica is healthy, "degraded" otherwise —
+// the router itself is up either way, but a degraded cluster cannot
+// place new shard keys.
+type RouterHealthResponse struct {
+	Status   string          `json:"status"`
+	Healthy  int             `json:"healthy"`
+	Total    int             `json:"total"`
+	Replicas []ReplicaStatus `json:"replicas"`
+}
+
+// ErrorResponse mirrors serve's uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

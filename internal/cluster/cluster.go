@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config shapes a Cluster router. Zero fields take the documented
+// defaults.
+type Config struct {
+	// Replicas is the fleet the router fronts. Required, non-empty.
+	Replicas []Replica
+
+	// VirtualNodes per replica on the ring (default DefaultVnodes).
+	VirtualNodes int
+
+	// Seed perturbs ring hashing, span IDs, and Retry-After jitter.
+	// Two routers sharing a seed and replica list agree on every key's
+	// placement.
+	Seed int64
+
+	// DefaultSeed must match the replicas' serve default calibration
+	// seed: the router substitutes it when a request omits seed so the
+	// shard key equals the key the replica will actually cache under.
+	DefaultSeed int64
+
+	// TenantRate is each tenant's sustained requests/second on planning
+	// endpoints (token-bucket refill); <= 0 disables per-tenant quotas.
+	// TenantBurst is the bucket depth (default 1 when rate is set).
+	TenantRate  float64
+	TenantBurst float64
+
+	// MaxInflight caps concurrently forwarded planning requests; excess
+	// requests shed with 429 (default 256, <0 disables).
+	MaxInflight int
+
+	// MaxBodyBytes caps request bodies at the router (default 1 MiB) —
+	// the router reads bodies fully to derive shard keys.
+	MaxBodyBytes int64
+
+	// RetryAfterSpreadS bounds the jittered Retry-After on router 429s:
+	// values are dealt deterministically from [1, spread] (default 3).
+	RetryAfterSpreadS int
+
+	// HealthInterval is the background health-poll period; 0 disables
+	// the loop (CheckHealthNow still works — the deterministic path).
+	HealthInterval time.Duration
+
+	// HealthFailures is the consecutive-failure threshold that marks a
+	// replica dead (default 2). Forward failures count toward it too.
+	HealthFailures int
+
+	// HealthTimeout bounds one health probe (default 2s).
+	HealthTimeout time.Duration
+
+	// Registry and Tracer are the observability sinks; nil values get
+	// private instances (the tracer seeded from Seed).
+	Registry *obs.Registry
+	Tracer   *obs.Tracer
+}
+
+// Cluster owns the router, the ring, and the health machinery over a
+// replica fleet. It holds no planning state: replicas can join a
+// freshly restarted router and every key routes identically.
+type Cluster struct {
+	cfg    Config
+	ring   *Ring
+	set    *replicaSet
+	health *healthChecker
+	router *Router
+	reg    *obs.Registry
+}
+
+// New builds a Cluster and starts background health polling when
+// configured. Callers must Close it.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.VirtualNodes <= 0 {
+		cfg.VirtualNodes = DefaultVnodes
+	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = 256
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.HealthFailures <= 0 {
+		cfg.HealthFailures = 2
+	}
+	if cfg.RetryAfterSpreadS <= 0 {
+		cfg.RetryAfterSpreadS = 3
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer(cfg.Seed)
+	}
+	ring := NewRing(cfg.Seed, cfg.VirtualNodes)
+	set, err := newReplicaSet(cfg.Replicas, ring, reg)
+	if err != nil {
+		return nil, err
+	}
+	health := newHealthChecker(set, cfg.HealthFailures, cfg.HealthTimeout)
+	c := &Cluster{
+		cfg:    cfg,
+		ring:   ring,
+		set:    set,
+		health: health,
+		router: newRouter(cfg, ring, set, health, reg, tracer),
+		reg:    reg,
+	}
+	health.start(cfg.HealthInterval)
+	return c, nil
+}
+
+// Router returns the HTTP front end.
+func (c *Cluster) Router() *Router { return c.router }
+
+// Ring exposes the placement ring (read-mostly; health owns mutation).
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// CheckHealthNow runs one synchronous health sweep over every replica —
+// the deterministic alternative to background polling.
+func (c *Cluster) CheckHealthNow() { c.health.checkAll(context.Background()) }
+
+// Drain marks a replica draining (or healthy again), rebalancing its
+// ring arcs; unknown names report false.
+func (c *Cluster) Drain(name string) bool   { return c.set.setState(name, StateDraining) }
+func (c *Cluster) Undrain(name string) bool { return c.set.setState(name, StateHealthy) }
+
+// Replicas reports the fleet's current states in configured order.
+func (c *Cluster) Replicas() []ReplicaStatus { return c.set.snapshot() }
+
+// Close stops background health polling and always returns nil (the
+// error slot matches serve.Server.Close for callers shutting both
+// down). Replica lifecycles belong to their owners — the router never
+// shuts a replica down.
+func (c *Cluster) Close() error { c.health.stop(); return nil }

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/machine"
@@ -86,6 +87,7 @@ type Server struct {
 	cache     *calibCache
 	sem       chan struct{}
 	campaigns *campaignManager
+	jitter    *retryJitter
 
 	reg       *obs.Registry
 	tracer    *obs.Tracer
@@ -142,6 +144,7 @@ func New(cfg Config) (*Server, error) {
 		coresPerNode:   1,
 		cache:          newCalibCache(cfg.CacheEntries),
 		sem:            make(chan struct{}, cfg.MaxInflight),
+		jitter:         newRetryJitter(cfg.DefaultSeed),
 		reg:            reg,
 		tracer:         tracer,
 		startWall:      time.Now(),
@@ -195,15 +198,21 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.instrument("/v1/campaigns/status", false, s.handleCampaignStatus))
 }
 
-// statusWriter records the response code for metrics and span attrs.
+// statusWriter records the response code for metrics and span attrs,
+// and stamps every 429 with the server's jittered Retry-After just
+// before the header flushes (overriding writeError's static fallback).
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code       int
+	retryAfter func() string
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	if w.code == 0 {
 		w.code = code
+		if code == http.StatusTooManyRequests && w.retryAfter != nil {
+			w.Header().Set("Retry-After", w.retryAfter())
+		}
 	}
 	w.ResponseWriter.WriteHeader(code)
 }
@@ -225,7 +234,7 @@ var latencyBuckets = obs.ExpBuckets(50e-6, 2, 25)
 // per-request deadline ceiling.
 func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w}
+		sw := &statusWriter{ResponseWriter: w, retryAfter: s.jitter.next}
 		start := time.Now()
 		sp := s.tracer.Start("http "+endpoint, s.simNow())
 		defer func() {
@@ -304,10 +313,40 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	if status == http.StatusTooManyRequests {
-		// Load shedding contract: every 429 names a backoff.
+		// Load shedding contract: every 429 names a backoff. This
+		// static value is only a fallback — statusWriter overrides it
+		// with the server's seeded jitter at WriteHeader time, so
+		// client fleets don't retry in lockstep.
 		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// retryJitter deals deterministic Retry-After backoffs in [1, 3]
+// seconds from a seeded SplitMix64 stream. Shedding a fleet of clients
+// with one constant backoff synchronizes their retries into a thundering
+// herd one second later; per-server seeded jitter de-phases them while
+// keeping test runs reproducible.
+type retryJitter struct {
+	mu    sync.Mutex
+	state uint64
+}
+
+func newRetryJitter(seed int64) *retryJitter {
+	return &retryJitter{state: uint64(seed)}
+}
+
+// next returns the following backoff in whole seconds, "1".."3".
+func (j *retryJitter) next() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// SplitMix64 step: well-distributed, cheap, reproducible.
+	j.state += 0x9e3779b97f4a7c15
+	z := j.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return strconv.Itoa(int(z%3) + 1)
 }
 
 func writeErr(w http.ResponseWriter, err error) {
