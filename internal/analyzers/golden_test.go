@@ -78,6 +78,8 @@ func TestGoldenDirtyFixtures(t *testing.T) {
 		{check: "lockbalance", want: []want{
 			{13, "lockbalance", "no defer"},
 			{18, "lockbalance", "escapes before"},
+			{27, "lockbalance", "c.mu.TryLock in tryLeak: the success path never releases"},
+			{35, "lockbalance", "c.mu.TryLock in tryGuardLeak: the success path never releases"},
 		}},
 		{check: "gorleak", want: []want{
 			{6, "gorleak", "no visible join"},

@@ -2,6 +2,7 @@ package analyzers
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -12,7 +13,13 @@ import (
 //   - `X.Lock()` anywhere in a function that also contains
 //     `defer X.Unlock()` (the dominant idiom);
 //   - `X.Lock()` followed later in the same statement list by
-//     `X.Unlock()`, with no return statement in between.
+//     `X.Unlock()`, with no return statement in between;
+//   - either release spelled through a named cleanup closure defined
+//     in the same function (`cleanup := func() { X.Unlock() }` with a
+//     later `defer cleanup()` or direct `cleanup()` call);
+//   - `if X.TryLock()` / `if !X.TryLock()` guards, whose success path
+//     must release the same way (TryLock acquisitions that leak are
+//     flagged like Lock ones).
 //
 // Everything else — a Lock with no textual Unlock, or a return that
 // can fire between the pair — is flagged. The analysis is per
@@ -45,8 +52,54 @@ func lockKind(name string) (unlock string, ok bool) {
 	return "", false
 }
 
+// litUnlocks collects the "recv.Unlock" calls a closure body performs.
+func litUnlocks(fl *ast.FuncLit) []string {
+	var keys []string
+	ast.Inspect(fl.Body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		r, nm := calleeOf(call)
+		if r != "" && (nm == "Unlock" || nm == "RUnlock") {
+			keys = append(keys, r+"."+nm)
+		}
+		return true
+	})
+	return keys
+}
+
+// closureUnlockers maps every function-valued variable assigned a
+// literal in this body to the unlock calls that literal performs, so
+// cleanup-closure idioms credit the receiver whether the closure is
+// deferred or called directly.
+func closureUnlockers(body *ast.BlockStmt) map[string][]string {
+	out := map[string][]string{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			fl, ok := as.Rhs[i].(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			out[id.Name] = append(out[id.Name], litUnlocks(fl)...)
+		}
+		return true
+	})
+	return out
+}
+
 // lockFindings walks one function body.
 func lockFindings(f *File, id, fname string, body *ast.BlockStmt) []Diagnostic {
+	closures := closureUnlockers(body)
+
 	// Receivers with a deferred unlock anywhere in the function:
 	// their locks are safe regardless of control flow.
 	deferred := map[string]bool{} // "recv.Unlock" -> true
@@ -62,19 +115,17 @@ func lockFindings(f *File, id, fname string, body *ast.BlockStmt) []Diagnostic {
 		if recv != "" && (name == "Unlock" || name == "RUnlock") {
 			deferred[recv+"."+name] = true
 		}
-		// A deferred closure that unlocks also counts.
+		// A deferred closure that unlocks also counts — an inline
+		// literal or a named cleanup closure defined in this body.
 		if fl, ok := ds.Call.Fun.(*ast.FuncLit); ok {
-			ast.Inspect(fl.Body, func(m ast.Node) bool {
-				call, ok := m.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				r, nm := calleeOf(call)
-				if r != "" && (nm == "Unlock" || nm == "RUnlock") {
-					deferred[r+"."+nm] = true
-				}
-				return true
-			})
+			for _, key := range litUnlocks(fl) {
+				deferred[key] = true
+			}
+		}
+		if recv == "" && name != "" {
+			for _, key := range closures[name] {
+				deferred[key] = true
+			}
 		}
 		return true
 	})
@@ -96,6 +147,10 @@ func lockFindings(f *File, id, fname string, body *ast.BlockStmt) []Diagnostic {
 				return true
 			})
 
+			if ifs, ok := s.(*ast.IfStmt); ok {
+				diags = append(diags, tryLockFindings(f, id, fname, ifs, stmts[i+1:], deferred, closures)...)
+				continue
+			}
 			es, ok := s.(*ast.ExprStmt)
 			if !ok {
 				continue
@@ -116,14 +171,14 @@ func lockFindings(f *File, id, fname string, body *ast.BlockStmt) []Diagnostic {
 			// any return before it escapes with the lock held.
 			released := false
 			for _, later := range stmts[i+1:] {
-				if returnBeforeUnlock(later, recv, unlockName) {
+				if returnBeforeUnlock(later, recv, unlockName, closures) {
 					diags = append(diags, f.diag(call.Pos(), id, SeverityError,
 						"%s.%s in %s: a return path escapes before %s.%s; use defer",
 						recv, name, fname, recv, unlockName))
 					released = true // reported; don't double-report below
 					break
 				}
-				if stmtUnlocks(later, recv, unlockName) {
+				if stmtUnlocks(later, recv, unlockName, closures) {
 					released = true
 					break
 				}
@@ -137,6 +192,74 @@ func lockFindings(f *File, id, fname string, body *ast.BlockStmt) []Diagnostic {
 	}
 	walkList(body.List)
 	return diags
+}
+
+// tryCond extracts the receiver and matching unlock of an if condition
+// of the form X.TryLock() / X.TryRLock() or its negation.
+func tryCond(cond ast.Expr) (recv, unlock string, negated, ok bool) {
+	if un, isNot := cond.(*ast.UnaryExpr); isNot && un.Op == token.NOT {
+		cond = un.X
+		negated = true
+	}
+	call, isCall := cond.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false, false
+	}
+	r, name := calleeOf(call)
+	switch name {
+	case "TryLock":
+		unlock = "Unlock"
+	case "TryRLock":
+		unlock = "RUnlock"
+	default:
+		return "", "", false, false
+	}
+	if r == "" || !looksLikeMutex(r) {
+		return "", "", false, false
+	}
+	return r, unlock, negated, true
+}
+
+// tryLockFindings extends the balance discipline to TryLock guards: a
+// successful TryLock is an acquisition like any other. Positive guards
+// (`if X.TryLock() { ... }`) must release inside the guarded body;
+// negated guards (`if !X.TryLock() { bail }`) must release on the
+// fallthrough path after the if.
+func tryLockFindings(f *File, id, fname string, ifs *ast.IfStmt, rest []ast.Stmt, deferred map[string]bool, closures map[string][]string) []Diagnostic {
+	recv, unlock, negated, ok := tryCond(ifs.Cond)
+	if !ok {
+		return nil
+	}
+	key := recv + "." + unlock
+	if deferred[key] {
+		return nil
+	}
+	released := false
+	if negated {
+		for _, later := range rest {
+			if stmtUnlocks(later, recv, unlock, closures) {
+				released = true
+				break
+			}
+		}
+	} else {
+		for _, inner := range ifs.Body.List {
+			if stmtUnlocks(inner, recv, unlock, closures) {
+				released = true
+				break
+			}
+		}
+	}
+	if released {
+		return nil
+	}
+	try := "TryLock"
+	if unlock == "RUnlock" {
+		try = "TryRLock"
+	}
+	return []Diagnostic{f.diag(ifs.Cond.Pos(), id, SeverityError,
+		"%s.%s in %s: the success path never releases %s; add defer %s.%s",
+		recv, try, fname, recv, recv, unlock)}
 }
 
 // looksLikeMutex filters receiver names so arbitrary .Lock methods
@@ -155,11 +278,16 @@ func looksLikeMutex(recv string) bool {
 }
 
 // stmtUnlocks reports whether a statement (or anything nested in it)
-// calls recv.unlockName outside a defer.
-func stmtUnlocks(s ast.Stmt, recv, unlockName string) bool {
+// releases recv outside a defer: a direct recv.unlockName call, or a
+// call to a named cleanup closure known to perform that unlock.
+// Closure bodies are skipped — defining a closure releases nothing;
+// calling one is what counts (defers are the deferred map's job).
+func stmtUnlocks(s ast.Stmt, recv, unlockName string, closures map[string][]string) bool {
+	key := recv + "." + unlockName
 	found := false
 	ast.Inspect(s, func(n ast.Node) bool {
-		if _, ok := n.(*ast.DeferStmt); ok {
+		switch n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
 			return false
 		}
 		call, ok := n.(*ast.CallExpr)
@@ -170,6 +298,13 @@ func stmtUnlocks(s ast.Stmt, recv, unlockName string) bool {
 		if r == recv && nm == unlockName {
 			found = true
 		}
+		if r == "" && nm != "" {
+			for _, k := range closures[nm] {
+				if k == key {
+					found = true
+				}
+			}
+		}
 		return !found
 	})
 	return found
@@ -178,8 +313,8 @@ func stmtUnlocks(s ast.Stmt, recv, unlockName string) bool {
 // returnBeforeUnlock reports whether a statement contains a return
 // that is not preceded (within the statement's own nesting) by the
 // matching unlock.
-func returnBeforeUnlock(s ast.Stmt, recv, unlockName string) bool {
-	if stmtUnlocks(s, recv, unlockName) {
+func returnBeforeUnlock(s ast.Stmt, recv, unlockName string, closures map[string][]string) bool {
+	if stmtUnlocks(s, recv, unlockName, closures) {
 		// The unlock exists somewhere inside; assume the author paired
 		// it with any return in the same arm. A finer path analysis
 		// costs more precision than it buys at this codebase's size.

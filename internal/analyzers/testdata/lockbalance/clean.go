@@ -35,3 +35,35 @@ func (g *gauge) deferredClosure() {
 		g.mu.Unlock()
 	}()
 }
+
+func (g *gauge) namedCleanup() {
+	g.mu.Lock()
+	cleanup := func() { g.mu.Unlock() }
+	defer cleanup()
+	g.n++
+}
+
+func (g *gauge) releaseEarly() int {
+	g.mu.Lock()
+	release := func() { g.mu.Unlock() }
+	n := g.n
+	release()
+	return n
+}
+
+func (g *gauge) tryBalanced() bool {
+	if g.mu.TryLock() {
+		defer g.mu.Unlock()
+		g.n++
+		return true
+	}
+	return false
+}
+
+func (g *gauge) tryGuarded() int {
+	if !g.mu.TryLock() {
+		return -1
+	}
+	defer g.mu.Unlock()
+	return g.n
+}

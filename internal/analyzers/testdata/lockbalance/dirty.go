@@ -22,3 +22,19 @@ func (c *counter) earlyReturn(skip bool) int {
 	c.mu.Unlock()
 	return c.n
 }
+
+func (c *counter) tryLeak() bool {
+	if c.mu.TryLock() {
+		c.n++
+		return true
+	}
+	return false
+}
+
+func (c *counter) tryGuardLeak() int {
+	if !c.mu.TryLock() {
+		return -1
+	}
+	c.n++
+	return c.n
+}
