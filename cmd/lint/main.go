@@ -1,9 +1,10 @@
 // Command lint runs the repository's static-analysis suite
 // (internal/analyzers) over one or more package patterns and fails on
 // findings that are neither suppressed in-source nor grandfathered in
-// the baseline file. The suite has two layers — syntactic checks built
-// on go/ast and semantic checks built on go/types — and both run by
-// default.
+// the baseline file. The suite has three layers — syntactic checks
+// built on go/ast, semantic checks built on go/types, and
+// interprocedural checks built on a call graph over the typed
+// packages — and all three run by default.
 //
 // Usage:
 //
@@ -73,6 +74,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, c := range analyzers.AllTyped() {
 			fmt.Fprintf(stdout, "%-12s %s\n", c.ID, c.Doc)
 		}
+		for _, c := range analyzers.AllInter() {
+			fmt.Fprintf(stdout, "%-12s %s\n", c.ID, c.Doc)
+		}
 		return 0
 	}
 
@@ -88,24 +92,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	var res analyzers.Result
-	if len(sel.Syntactic) > 0 {
-		res, err = analyzers.Run(fs.Args(), sel.Syntactic)
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 2
-		}
-	}
-	if len(sel.Typed) > 0 {
-		tres, err := analyzers.RunTyped(fs.Args(), sel.Typed)
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 2
-		}
-		res.Diags = append(res.Diags, tres.Diags...)
-		if tres.Files > res.Files {
-			res.Files = tres.Files
-		}
+	res, err := analyzers.RunLayers(fs.Args(), sel)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	analyzers.Sort(res.Diags)
 

@@ -1,0 +1,149 @@
+package analyzers
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadCallsGraph builds the call graph over the synthetic
+// testdata/module/calls package.
+func loadCallsGraph(t *testing.T) *CallGraph {
+	t.Helper()
+	pkgs, err := Load([]string{filepath.Join("testdata", "module", "calls")})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return BuildCallGraph(pkgs)
+}
+
+// nodeByName finds the unique node with the given Name().
+func nodeByName(t *testing.T, g *CallGraph, name string) *CallNode {
+	t.Helper()
+	var found *CallNode
+	for _, n := range g.Nodes() {
+		if n.Name() == name {
+			if found != nil {
+				t.Fatalf("duplicate node %q", name)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("node %q not in graph", name)
+	}
+	return found
+}
+
+// calleeNames renders a node's outgoing callees, optionally filtered
+// by edge kind.
+func calleeNames(n *CallNode, kind EdgeKind) []string {
+	var names []string
+	for _, e := range n.Out {
+		if e.Kind == kind {
+			names = append(names, e.Callee.Name())
+		}
+	}
+	return names
+}
+
+func TestCallGraphInterfaceResolution(t *testing.T) {
+	g := loadCallsGraph(t)
+	writeAll := nodeByName(t, g, "unitmod/calls.WriteAll")
+	got := calleeNames(writeAll, EdgeCall)
+	// The interface call fans out to both loaded implementations plus
+	// the abstract method, kept as a body-less node.
+	joined := strings.Join(got, "\n")
+	for _, substr := range []string{"MemStore", "NullStore", "Store"} {
+		if !strings.Contains(joined, substr) {
+			t.Errorf("WriteAll callees missing %s:\n%s", substr, joined)
+		}
+	}
+	if len(got) != 3 {
+		t.Errorf("WriteAll: want 3 callees (2 impls + abstract), got %d:\n%s", len(got), joined)
+	}
+	// The implementations carry bodies; the abstract method must not.
+	for _, e := range writeAll.Out {
+		abstract := !strings.Contains(e.Callee.Name(), "MemStore") &&
+			!strings.Contains(e.Callee.Name(), "NullStore")
+		if abstract != e.Callee.External() {
+			t.Errorf("callee %s: external = %v, want %v", e.Callee.Name(), e.Callee.External(), abstract)
+		}
+	}
+}
+
+func TestCallGraphFuncValueResolution(t *testing.T) {
+	g := loadCallsGraph(t)
+
+	// Package-level function value: Direct -> the literal bound to
+	// record.
+	direct := nodeByName(t, g, "unitmod/calls.Direct")
+	got := calleeNames(direct, EdgeCall)
+	if len(got) != 1 || !strings.Contains(got[0], "func literal") {
+		t.Errorf("Direct: want the record literal as sole callee, got %v", got)
+	}
+
+	// Struct-field function value bound via composite literal:
+	// (*hooks).Fire -> logPut.
+	fire := nodeByName(t, g, "(*unitmod/calls.hooks).Fire")
+	got = calleeNames(fire, EdgeCall)
+	if len(got) != 1 || got[0] != "unitmod/calls.logPut" {
+		t.Errorf("Fire: want logPut as sole callee, got %v", got)
+	}
+}
+
+func TestCallGraphParameterCalleeUnresolved(t *testing.T) {
+	g := loadCallsGraph(t)
+	spawn := nodeByName(t, g, "unitmod/calls.Spawn")
+	if len(spawn.Out) != 0 {
+		t.Errorf("Spawn: parameter callees must stay unresolved (documented blind spot), got %d edge(s)", len(spawn.Out))
+	}
+}
+
+func TestCallGraphEdgeKinds(t *testing.T) {
+	g := loadCallsGraph(t)
+	closed := nodeByName(t, g, "unitmod/calls.Closed")
+	kinds := map[EdgeKind][]string{}
+	for _, e := range closed.Out {
+		kinds[e.Kind] = append(kinds[e.Kind], e.Callee.Name())
+	}
+	if got := kinds[EdgeDefer]; len(got) != 1 || got[0] != "(*unitmod/calls.MemStore).Put" {
+		t.Errorf("EdgeDefer: want [(*unitmod/calls.MemStore).Put], got %v", got)
+	}
+	if got := kinds[EdgeGo]; len(got) != 1 || got[0] != "unitmod/calls.Direct" {
+		t.Errorf("EdgeGo: want [unitmod/calls.Direct], got %v", got)
+	}
+	if got := kinds[EdgeCall]; len(got) != 1 || !strings.Contains(got[0], "func literal") {
+		t.Errorf("EdgeCall: want the record literal, got %v", got)
+	}
+}
+
+// TestCallGraphInEdges pins the reverse direction: the callee's In
+// list mirrors the caller's Out list.
+func TestCallGraphInEdges(t *testing.T) {
+	g := loadCallsGraph(t)
+	logPut := nodeByName(t, g, "unitmod/calls.logPut")
+	if len(logPut.In) != 1 || logPut.In[0].Caller.Name() != "(*unitmod/calls.hooks).Fire" {
+		var callers []string
+		for _, e := range logPut.In {
+			callers = append(callers, e.Caller.Name())
+		}
+		t.Errorf("logPut callers: want [(*unitmod/calls.hooks).Fire], got %v", callers)
+	}
+}
+
+// BenchmarkCallGraph times graph construction alone over the real
+// tree, separating the builder's cost from the loader's.
+func BenchmarkCallGraph(b *testing.B) {
+	pkgs, err := Load([]string{filepath.Join("..", "..", "...")})
+	if err != nil {
+		b.Fatalf("Load: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := BuildCallGraph(pkgs)
+		if len(g.Nodes()) == 0 {
+			b.Fatal("empty call graph")
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package analyzers
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runInterOn runs a single interprocedural check (by ID) over one
+// fixture directory, suppression applied.
+func runInterOn(t *testing.T, checkID, dir string) []Diagnostic {
+	t.Helper()
+	sel, err := SelectAll([]string{checkID})
+	if err != nil {
+		t.Fatalf("SelectAll(%s): %v", checkID, err)
+	}
+	if len(sel.Inter) != 1 {
+		t.Fatalf("SelectAll(%s): want 1 interprocedural check, got %d", checkID, len(sel.Inter))
+	}
+	pkgs, err := Load([]string{dir})
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	return runInterOver(pkgs, sel.Inter).Diags
+}
+
+func TestInterGoldenDirtyFixtures(t *testing.T) {
+	type want struct {
+		line   int
+		substr string
+	}
+	cases := []struct {
+		check string
+		want  []want
+	}{
+		{check: "ctxflow", want: []want{
+			{15, "context.Background in repro/internal/analyzers/testdata/ctxflow/dirty.detachedTimeout, which already carries a context"},
+			{21, "context.TODO in repro/internal/analyzers/testdata/ctxflow/dirty.handlerTODO, which already carries a context"},
+			{32, "but every caller (1) carries a context; accept a ctx parameter"},
+			{43, "blocking channel send in a loop of repro/internal/analyzers/testdata/ctxflow/dirty.pump with no ctx.Done() escape"},
+			{51, "blocking channel receive in a loop of repro/internal/analyzers/testdata/ctxflow/dirty.drain with no ctx.Done() escape"},
+			{60, "select in a loop of repro/internal/analyzers/testdata/ctxflow/dirty.waitLoop has no ctx.Done() case and no default"},
+			{75, "calls repro/internal/analyzers/testdata/ctxflow/dirty.process without threading its ctx"},
+		}},
+		{check: "lockheld", want: []want{
+			{22, "channel send while s.mu is held"},
+			{30, "channel receive while s.rw is held"},
+			{37, "call to time.Sleep blocks (time.Sleep) while s.mu is held"},
+			{44, "call to (*sync.WaitGroup).Wait blocks (WaitGroup.Wait) while s.mu is held"},
+			{51, "select with no default while s.mu is held"},
+			{62, "call to net/http.Get blocks (net/http.Get) while s.mu is held"},
+			{74, "blocks (time.Sleep via (*repro/internal/analyzers/testdata/lockheld/dirty.server).nap -> time.Sleep) while s.mu is held"},
+		}},
+		{check: "detertaint", want: []want{
+			{26, "time.Now flows into the seed argument of repro/internal/analyzers/testdata/detertaint/dirty.NewTracer"},
+			{32, "global math/rand.Int63 flows into the seed argument"},
+			{37, "time.Now written to seed field t.seed"},
+			{44, "map range order flows into the ring placement key argument"},
+			{55, "nondeterministic result of repro/internal/analyzers/testdata/detertaint/dirty.stamp flows into the seed argument"},
+			{65, "time.Now flows into the seed argument of repro/internal/analyzers/testdata/detertaint/dirty.launder"},
+			{70, "time.Now flows into the seed argument of math/rand.NewSource"},
+			{78, "time.Now flows into the seed argument of repro/internal/analyzers/testdata/detertaint/dirty.NewTracer in repro/internal/analyzers/testdata/detertaint/dirty.assignedTaint"},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.check, func(t *testing.T) {
+			dir := filepath.Join("testdata", tc.check, "dirty")
+			got := runInterOn(t, tc.check, dir)
+			if len(got) != len(tc.want) {
+				t.Fatalf("%s: got %d finding(s), want %d:\n%s",
+					dir, len(got), len(tc.want), renderDiags(got))
+			}
+			for i, w := range tc.want {
+				d := got[i]
+				if d.Line != w.line || d.Check != tc.check {
+					t.Errorf("finding %d: got %s:%d [%s], want line %d [%s]",
+						i, d.File, d.Line, d.Check, w.line, tc.check)
+				}
+				if !strings.Contains(d.Message, w.substr) {
+					t.Errorf("finding %d: message %q does not contain %q", i, d.Message, w.substr)
+				}
+				if d.Severity != SeverityError {
+					t.Errorf("finding %d: severity %q, want %q", i, d.Severity, SeverityError)
+				}
+			}
+		})
+	}
+}
+
+func TestInterGoldenCleanFixtures(t *testing.T) {
+	for _, check := range []string{"ctxflow", "lockheld", "detertaint"} {
+		t.Run(check, func(t *testing.T) {
+			// Clean fixtures must survive all three layers in full: a
+			// clean idiom that trips a neighboring check is still a
+			// false positive.
+			dir := filepath.Join("testdata", check, "clean")
+			sel, err := SelectAll(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunLayers([]string{dir}, sel)
+			if err != nil {
+				t.Fatalf("RunLayers(%s): %v", dir, err)
+			}
+			if len(res.Diags) != 0 {
+				t.Fatalf("full suite: want no findings, got:\n%s", renderDiags(res.Diags))
+			}
+		})
+	}
+}
+
+// TestInterSuppression pins //lint:ignore handling for whole-surface
+// checks: the directive in the file a finding lands in silences it.
+func TestInterSuppression(t *testing.T) {
+	dir := filepath.Join("testdata", "ctxflow", "suppressed")
+	if got := runInterOn(t, "ctxflow", dir); len(got) != 0 {
+		t.Fatalf("want suppressed, got:\n%s", renderDiags(got))
+	}
+}
+
+// TestRunLayersMatchesSeparateRuns guards the shared-load fast path:
+// one RunLayers pass must produce exactly the diagnostics of the three
+// layers run separately.
+func TestRunLayersMatchesSeparateRuns(t *testing.T) {
+	patterns := []string{filepath.Join("testdata", "detertaint", "dirty")}
+	sel, err := SelectAll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := RunLayers(patterns, sel)
+	if err != nil {
+		t.Fatalf("RunLayers: %v", err)
+	}
+	syn, err := Run(patterns, sel.Syntactic)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	typed, err := RunTyped(patterns, sel.Typed)
+	if err != nil {
+		t.Fatalf("RunTyped: %v", err)
+	}
+	inter, err := RunInter(patterns, sel.Inter)
+	if err != nil {
+		t.Fatalf("RunInter: %v", err)
+	}
+	separate := append(append(syn.Diags, typed.Diags...), inter.Diags...)
+	sortDiags(separate)
+	if len(combined.Diags) != len(separate) {
+		t.Fatalf("RunLayers found %d diagnostic(s), separate runs %d:\n%s\nvs\n%s",
+			len(combined.Diags), len(separate), renderDiags(combined.Diags), renderDiags(separate))
+	}
+	for i := range separate {
+		if combined.Diags[i] != separate[i] {
+			t.Errorf("diagnostic %d differs: %v vs %v", i, combined.Diags[i], separate[i])
+		}
+	}
+}

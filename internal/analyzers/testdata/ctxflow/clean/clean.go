@@ -1,0 +1,94 @@
+// Package ctxflowclean mirrors the dirty ctxflow idioms done right:
+// every context derives from the caller's, every loop has a Done()
+// escape, and fresh roots exist only where no caller has a context to
+// offer.
+package ctxflowclean
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// scopedTimeout derives the deadline from the caller's ctx, so the
+// parent cancelling cancels this too.
+func scopedTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, time.Second)
+}
+
+// handler threads the request context down.
+func handler(w http.ResponseWriter, r *http.Request) {
+	process(r.Context())
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func process(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// probe accepts the caller's ctx instead of rooting its own.
+func probe(ctx context.Context) {
+	process(ctx)
+}
+
+func forward(ctx context.Context) {
+	probe(ctx)
+}
+
+// pump honors cancellation on both the receive and the send.
+func pump(ctx context.Context, in <-chan int, out chan<- int) {
+	for {
+		select {
+		case v, ok := <-in:
+			if !ok {
+				return
+			}
+			select {
+			case out <- v:
+			case <-ctx.Done():
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// poll is allowed a raw drain loop when it is not context-carrying and
+// no caller has a context either.
+func poll(in <-chan int) int {
+	total := 0
+	for v := range in {
+		total += v
+	}
+	return total
+}
+
+// rootForBoot creates a fresh root legitimately: none of its callers
+// carry a context (boot runs before any request exists).
+func rootForBoot() context.Context {
+	return context.Background()
+}
+
+func boot(in <-chan int) context.Context {
+	if poll(in) < 0 {
+		return nil
+	}
+	return rootForBoot()
+}
+
+// spin threads a context derived in the enclosing frame into the
+// closure's callee — the closure sees ctx by capture, so the call
+// counts as threaded even though the closure has no ctx parameter.
+func spin(base context.Context) (stop func()) {
+	ctx, cancel := context.WithCancel(base)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		process(ctx)
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}

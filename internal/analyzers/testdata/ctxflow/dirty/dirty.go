@@ -1,0 +1,76 @@
+// Package ctxflowdirty is the golden dirty fixture for the ctxflow
+// check: every way a request context can stop flowing, one function
+// per rule.
+package ctxflowdirty
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// detachedTimeout creates a fresh root below a function that already
+// receives a ctx (rule 1).
+func detachedTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), time.Second)
+}
+
+// handlerTODO is the HTTP-handler shape of rule 1: the request carries
+// the context, and the handler roots a fresh one anyway.
+func handlerTODO(w http.ResponseWriter, r *http.Request) {
+	process(context.TODO())
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func process(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// probe has no ctx of its own, but its only caller carries one — the
+// Background() here cuts the chain (rule 2).
+func probe() {
+	process(context.Background())
+}
+
+func forward(ctx context.Context) {
+	probe()
+	_ = ctx
+}
+
+// pump sends in a loop with no ctx.Done() escape (rule 3).
+func pump(ctx context.Context, in <-chan int, out chan<- int) {
+	for v := range in {
+		out <- v
+	}
+}
+
+// drain receives in a loop with no ctx.Done() escape (rule 3).
+func drain(ctx context.Context, in <-chan int) int {
+	total := 0
+	for i := 0; i < 8; i++ {
+		total += <-in
+	}
+	return total
+}
+
+// waitLoop selects in a loop with neither a ctx.Done() case nor a
+// default (rule 3).
+func waitLoop(ctx context.Context, tick <-chan time.Time, done chan struct{}) {
+	for {
+		select {
+		case <-tick:
+		case <-done:
+			return
+		}
+	}
+}
+
+// detachedBase is a package-level root: created in no function, so no
+// finding here — but passing it instead of a live ctx is rule 4.
+var detachedBase = context.Background()
+
+// relay accepts a ctx and calls a ctx-accepting callee without
+// threading it (rule 4).
+func relay(ctx context.Context) {
+	process(detachedBase)
+}

@@ -1,0 +1,13 @@
+// Package ctxflowsuppressed verifies //lint:ignore works for
+// interprocedural findings: the detachment below is deliberate and
+// documented, so the ctxflow finding must not surface.
+package ctxflowsuppressed
+
+import "context"
+
+// auditContext detaches on purpose: audit records must flush even when
+// the request is cancelled.
+func auditContext(ctx context.Context) context.Context {
+	//lint:ignore ctxflow audit writes must survive request cancellation
+	return context.Background()
+}

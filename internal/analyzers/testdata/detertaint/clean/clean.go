@@ -1,0 +1,54 @@
+// Package detertaintclean mirrors the dirty detertaint idioms done
+// right: seeds are threaded from configuration, randomness is built
+// from explicit sources, and map order is sorted away before it can
+// reach placement.
+package detertaintclean
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type Tracer struct{ seed int64 }
+
+func NewTracer(seed int64) *Tracer { return &Tracer{seed: seed} }
+
+type Ring struct{ seed int64 }
+
+func NewRing(seed int64) *Ring { return &Ring{seed: seed} }
+
+func (r *Ring) Add(name string) {}
+
+// build threads a configured seed end-to-end; deriving related seeds
+// arithmetically keeps them deterministic.
+func build(cfgSeed int64) (*Tracer, *Ring) {
+	return NewTracer(cfgSeed), NewRing(cfgSeed + 1)
+}
+
+// seededRand draws from an explicit source: reproducible by
+// construction.
+func seededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// sortedPlacement collects the members first and sorts them: map order
+// never reaches the ring.
+func sortedPlacement(replicas map[string]int, ring *Ring) {
+	names := make([]string, 0, len(replicas))
+	for name := range replicas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ring.Add(name)
+	}
+}
+
+// wallLatency reads the clock for measurement; durations are
+// reporting, not seeds, and never reach a deterministic sink.
+func wallLatency(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

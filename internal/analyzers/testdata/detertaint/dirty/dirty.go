@@ -1,0 +1,79 @@
+// Package detertaintdirty is the golden dirty fixture for the
+// detertaint check: every source of nondeterminism flowing into a
+// deterministic sink, directly and through function summaries.
+package detertaintdirty
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Tracer and Ring mirror the repo's seed-deterministic constructs.
+type Tracer struct{ seed int64 }
+
+func NewTracer(seed int64) *Tracer { return &Tracer{seed: seed} }
+
+type Ring struct{ seed int64 }
+
+func NewRing(seed int64) *Ring { return &Ring{seed: seed} }
+
+func (r *Ring) Add(name string)         {}
+func (r *Ring) Owner(key string) string { return "" }
+
+// wallSeed roots span identity in the wall clock: same run twice,
+// different trace.
+func wallSeed() *Tracer {
+	return NewTracer(time.Now().UnixNano())
+}
+
+// globalRandSeed reseeds placement from the process-seeded global
+// source.
+func globalRandSeed() *Ring {
+	return NewRing(rand.Int63())
+}
+
+// fieldWrite taints the seed field directly.
+func fieldWrite(t *Tracer) {
+	t.seed = time.Now().Unix()
+}
+
+// mapOrderPlacement adds members in map iteration order: the ring
+// layout differs across runs.
+func mapOrderPlacement(replicas map[string]int, ring *Ring) {
+	for name := range replicas {
+		ring.Add(name)
+	}
+}
+
+// stamp launders the clock through a helper; the summary carries the
+// taint back to the caller.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func viaHelper() *Ring {
+	return NewRing(stamp())
+}
+
+// launder forwards its parameter into a seed; callers passing tainted
+// values are flagged at their call sites via the parameter summary.
+func launder(v int64) *Ring {
+	return NewRing(v)
+}
+
+func indirect() *Ring {
+	return launder(time.Now().UnixNano())
+}
+
+// reseed feeds the clock straight into the explicit rand sink.
+func reseed() rand.Source {
+	return rand.NewSource(time.Now().UnixNano())
+}
+
+// assignedTaint flows through a local variable before reaching the
+// sink.
+func assignedTaint() *Tracer {
+	s := time.Now().UnixNano()
+	shifted := s + 1
+	return NewTracer(shifted)
+}

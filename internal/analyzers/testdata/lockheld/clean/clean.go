@@ -1,0 +1,87 @@
+// Package lockheldclean mirrors the dirty lockheld idioms done right:
+// the lock guards only in-memory state, and every blocking operation
+// happens after the release.
+package lockheldclean
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu      sync.Mutex
+	ch      chan int
+	wg      sync.WaitGroup
+	pending []int
+}
+
+// sendReleased copies under the lock and communicates after it.
+func (s *server) sendReleased() {
+	s.mu.Lock()
+	n := len(s.pending)
+	s.mu.Unlock()
+	s.ch <- n
+}
+
+// tryDrain uses a non-blocking select while holding the lock: with a
+// default clause it cannot wait.
+func (s *server) tryDrain() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// launchHeld starts a worker while holding the lock: a goroutine
+// launch returns immediately, and the join happens after the release.
+func (s *server) launchHeld() {
+	s.mu.Lock()
+	s.wg.Add(1)
+	go s.worker()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *server) worker() {
+	defer s.wg.Done()
+	time.Sleep(time.Millisecond)
+}
+
+// fetchReleased snapshots state under the lock and performs the round
+// trip outside it.
+func (s *server) fetchReleased(url string) error {
+	s.mu.Lock()
+	s.pending = append(s.pending, 1)
+	s.mu.Unlock()
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// optimistic gives up instead of queueing: TryLock never blocks, and
+// the guarded section stays in-memory.
+func (s *server) optimistic() bool {
+	if !s.mu.TryLock() {
+		return false
+	}
+	defer s.mu.Unlock()
+	s.pending = s.pending[:0]
+	return true
+}
+
+// deferredClosure releases through a named cleanup closure; the
+// blocking send happens only after it runs.
+func (s *server) deferredClosure() {
+	s.mu.Lock()
+	cleanup := func() { s.mu.Unlock() }
+	n := len(s.pending)
+	cleanup()
+	s.ch <- n
+}

@@ -1,0 +1,79 @@
+// Package lockhelddirty is the golden dirty fixture for the lockheld
+// check: each class of blocking operation reached while a mutex is
+// held, directly and through the call graph.
+package lockhelddirty
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+// sendHeld sends on a channel between Lock and Unlock.
+func (s *server) sendHeld() {
+	s.mu.Lock()
+	s.ch <- 1
+	s.mu.Unlock()
+}
+
+// recvHeld receives while holding the read lock.
+func (s *server) recvHeld() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return <-s.ch
+}
+
+// sleepHeld calls time.Sleep under a defer-held lock.
+func (s *server) sleepHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// waitHeld blocks on a WaitGroup under the lock.
+func (s *server) waitHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// selectHeld waits on peers with no default while holding the lock.
+func (s *server) selectHeld(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-done:
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+// fetchHeld performs a network round trip under the lock.
+func (s *server) fetchHeld(url string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// transitiveHeld reaches time.Sleep two calls down while holding the
+// lock: the call graph, not the body, carries the evidence.
+func (s *server) transitiveHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.backoff()
+}
+
+func (s *server) backoff() { s.nap() }
+
+func (s *server) nap() { time.Sleep(time.Millisecond) }

@@ -1,0 +1,68 @@
+// Package calls pins the call-graph builder's resolution rules: which
+// edges it proves for interface methods, function values, goroutine
+// launches and defers — and which calls it deliberately leaves
+// unresolved.
+package calls
+
+// Store is the interface whose call sites must fan out to every
+// loaded implementation.
+type Store interface {
+	Put(k string)
+}
+
+// MemStore implements Store with a pointer receiver.
+type MemStore struct{ n int }
+
+func (m *MemStore) Put(k string) { m.n++ }
+
+// NullStore implements Store with a value receiver.
+type NullStore struct{}
+
+func (NullStore) Put(k string) {}
+
+// WriteAll calls through the interface: the graph must list both
+// implementations plus the abstract method.
+func WriteAll(s Store, keys []string) {
+	for _, k := range keys {
+		s.Put(k)
+	}
+}
+
+// record is a package-level function value: calls through it resolve
+// to the literal it was initialized with.
+var record = func(k string) {}
+
+// Direct calls through the package-level function value.
+func Direct(k string) {
+	record(k)
+}
+
+// hooks carries a function-typed field; composite-literal
+// initialization binds the candidate.
+type hooks struct {
+	onPut func(string)
+}
+
+func logPut(k string) {}
+
+// Configured initializes the field; Fire calls through it.
+func Configured() *hooks {
+	return &hooks{onPut: logPut}
+}
+
+func (h *hooks) Fire(k string) {
+	h.onPut(k)
+}
+
+// Spawn receives its callee as a parameter: the builder's documented
+// blind spot — the call resolves to nothing.
+func Spawn(job func()) {
+	go job()
+}
+
+// Closed exercises defer and go edge kinds against declared callees.
+func Closed(s *MemStore) {
+	defer s.Put("end")
+	go Direct("x")
+	record("y")
+}

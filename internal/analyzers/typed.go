@@ -61,18 +61,19 @@ func AllTyped() []TypedCheck {
 	return cs
 }
 
-// Selection names the checks of one lint run across both layers.
+// Selection names the checks of one lint run across all three layers.
 type Selection struct {
 	Syntactic []Check
 	Typed     []TypedCheck
+	Inter     []InterCheck
 }
 
-// SelectAll resolves check IDs across the syntactic and typed suites
-// (all checks of both when ids is empty), or returns an error naming
-// any unknown ID.
+// SelectAll resolves check IDs across the syntactic, typed, and
+// interprocedural suites (all checks of every layer when ids is empty),
+// or returns an error naming any unknown ID.
 func SelectAll(ids []string) (Selection, error) {
 	if len(ids) == 0 {
-		return Selection{Syntactic: All(), Typed: AllTyped()}, nil
+		return Selection{Syntactic: All(), Typed: AllTyped(), Inter: AllInter()}, nil
 	}
 	syn := map[string]Check{}
 	for _, c := range All() {
@@ -82,6 +83,10 @@ func SelectAll(ids []string) (Selection, error) {
 	for _, c := range AllTyped() {
 		typ[c.ID] = c
 	}
+	inter := map[string]InterCheck{}
+	for _, c := range AllInter() {
+		inter[c.ID] = c
+	}
 	var sel Selection
 	for _, id := range ids {
 		if c, ok := syn[id]; ok {
@@ -90,6 +95,10 @@ func SelectAll(ids []string) (Selection, error) {
 		}
 		if c, ok := typ[id]; ok {
 			sel.Typed = append(sel.Typed, c)
+			continue
+		}
+		if c, ok := inter[id]; ok {
+			sel.Inter = append(sel.Inter, c)
 			continue
 		}
 		return Selection{}, fmt.Errorf("analyzers: unknown check %q", id)

@@ -231,16 +231,19 @@ func TestSelectAll(t *testing.T) {
 	}
 }
 
-// BenchmarkRunAll times both layers over the whole repository — the
-// cost CI pays per lint run, dominated by the typed loader.
+// BenchmarkRunAll times all three layers over the whole repository —
+// the cost CI pays per lint run, dominated by the typed loader, which
+// RunLayers pays once and shares between the typed and interprocedural
+// layers.
 func BenchmarkRunAll(b *testing.B) {
 	pattern := []string{filepath.Join("..", "..", "...")}
+	sel, err := SelectAll(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(pattern, All()); err != nil {
-			b.Fatalf("Run: %v", err)
-		}
-		if _, err := RunTyped(pattern, AllTyped()); err != nil {
-			b.Fatalf("RunTyped: %v", err)
+		if _, err := RunLayers(pattern, sel); err != nil {
+			b.Fatalf("RunLayers: %v", err)
 		}
 	}
 }
