@@ -35,13 +35,31 @@ func (t *HandlerTransport) Close() { t.closed.Store(true) }
 func (t *HandlerTransport) Reopen() { t.closed.Store(false) }
 
 // RoundTrip serves the request through the wrapped handler and returns
-// the recorded response.
+// the recorded response. Like *http.Transport, it honors the request
+// context: when the handler outlives req.Context(), RoundTrip abandons
+// it and returns ctx.Err() — otherwise a hung replica would stall
+// health probes and forwards past their deadlines forever.
 func (t *HandlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if t.closed.Load() {
 		return nil, fmt.Errorf("cluster: transport to %s closed (replica down)", req.URL.Host)
 	}
+	ctx := req.Context()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rec := &recordedResponse{header: make(http.Header), code: http.StatusOK}
-	t.h.ServeHTTP(rec, req)
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		t.h.ServeHTTP(rec, req)
+	}()
+	select {
+	case <-served:
+	case <-ctx.Done():
+		// The handler goroutine may still be running; it writes only to
+		// rec, whose mutex makes the abandonment safe.
+		return nil, ctx.Err()
+	}
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
 	return &http.Response{
