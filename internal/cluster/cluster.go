@@ -71,6 +71,11 @@ type Cluster struct {
 	health *healthChecker
 	router *Router
 	reg    *obs.Registry
+
+	// baseCtx bounds every health probe the cluster issues; Close
+	// cancels it so no probe outlives the cluster.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 }
 
 // New builds a Cluster and starts background health polling when
@@ -105,15 +110,20 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	health := newHealthChecker(set, cfg.HealthFailures, cfg.HealthTimeout)
+	// The fresh root is legitimate here: New is the top of the cluster's
+	// lifecycle — no caller context exists to derive from.
+	baseCtx, baseCancel := context.WithCancel(context.Background())
 	c := &Cluster{
-		cfg:    cfg,
-		ring:   ring,
-		set:    set,
-		health: health,
-		router: newRouter(cfg, ring, set, health, reg, tracer),
-		reg:    reg,
+		cfg:        cfg,
+		ring:       ring,
+		set:        set,
+		health:     health,
+		router:     newRouter(cfg, ring, set, health, reg, tracer),
+		reg:        reg,
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
 	}
-	health.start(cfg.HealthInterval)
+	health.start(baseCtx, cfg.HealthInterval)
 	return c, nil
 }
 
@@ -124,8 +134,10 @@ func (c *Cluster) Router() *Router { return c.router }
 func (c *Cluster) Ring() *Ring { return c.ring }
 
 // CheckHealthNow runs one synchronous health sweep over every replica —
-// the deterministic alternative to background polling.
-func (c *Cluster) CheckHealthNow() { c.health.checkAll(context.Background()) }
+// the deterministic alternative to background polling. After Close it
+// is a no-op: the base context is cancelled, so the sweep returns
+// without recording bogus probe failures.
+func (c *Cluster) CheckHealthNow() { c.health.checkAll(c.baseCtx) }
 
 // Drain marks a replica draining (or healthy again), rebalancing its
 // ring arcs; unknown names report false.
@@ -135,8 +147,15 @@ func (c *Cluster) Undrain(name string) bool { return c.set.setState(name, StateH
 // Replicas reports the fleet's current states in configured order.
 func (c *Cluster) Replicas() []ReplicaStatus { return c.set.snapshot() }
 
-// Close stops background health polling and always returns nil (the
-// error slot matches serve.Server.Close for callers shutting both
-// down). Replica lifecycles belong to their owners — the router never
-// shuts a replica down.
-func (c *Cluster) Close() error { c.health.stop(); return nil }
+// Close cancels in-flight health probes, stops background polling, and
+// always returns nil (the error slot matches serve.Server.Close for
+// callers shutting both down). Replica lifecycles belong to their
+// owners — the router never shuts a replica down.
+func (c *Cluster) Close() error {
+	// Cancel before stop: an in-flight probe against a hung replica
+	// aborts immediately instead of holding the poll loop (and us)
+	// until its timeout.
+	c.baseCancel()
+	c.health.stop()
+	return nil
+}

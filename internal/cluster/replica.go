@@ -228,11 +228,13 @@ func newHealthChecker(set *replicaSet, threshold int, timeout time.Duration) *he
 }
 
 // start launches the poll loop at interval; no-op when interval <= 0.
-func (hc *healthChecker) start(interval time.Duration) {
+// The loop (and every probe it issues) derives from base, so the
+// owner's shutdown cancels it alongside stop.
+func (hc *healthChecker) start(base context.Context, interval time.Duration) {
 	if interval <= 0 {
 		return
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(base)
 	hc.cancel = cancel
 	hc.done = make(chan struct{})
 	go func() {
@@ -262,8 +264,13 @@ func (hc *healthChecker) stop() {
 
 // checkAll probes every replica once, including dead ones (that is the
 // revival path). Draining replicas are skipped: their state is an
-// operator decision, not a health verdict.
+// operator decision, not a health verdict. A cancelled ctx aborts the
+// sweep before any probe fires — a shut-down cluster must not record
+// spurious failures.
 func (hc *healthChecker) checkAll(ctx context.Context) {
+	if ctx.Err() != nil {
+		return
+	}
 	for _, name := range hc.set.names() {
 		state, ok := hc.set.state(name)
 		if !ok || state == StateDraining {
