@@ -1,10 +1,11 @@
 // Command lint runs the repository's static-analysis suite
 // (internal/analyzers) over one or more package patterns and fails on
 // findings that are neither suppressed in-source nor grandfathered in
-// the baseline file. The suite has three layers — syntactic checks
-// built on go/ast, semantic checks built on go/types, and
-// interprocedural checks built on a call graph over the typed
-// packages — and all three run by default.
+// the baseline file. The suite has four layers — syntactic checks
+// built on go/ast, semantic checks built on go/types, interprocedural
+// checks built on a call graph over the typed packages, and
+// flow-sensitive checks built on per-function control-flow graphs —
+// and all four run by default.
 //
 // Usage:
 //
@@ -16,9 +17,20 @@
 //	                           file means an empty baseline)
 //	-write-baseline            rewrite the baseline from current
 //	                           findings and exit 0
+//	-prune-baseline            drop baseline entries that no longer
+//	                           match any finding, rewrite, and exit 0
 //	-format text|json|github   output format; github emits ::error
 //	                           workflow annotations for inline PR review
 //	-json                      shorthand for -format=json
+//	-timing                    print per-check wall time and layer
+//	                           totals after the run
+//	-perfbudget                run the compiler-diagnostics perf budget
+//	                           over the //lint:hot packages instead of
+//	                           the lint layers
+//	-write-perfbudget          regenerate the committed perf budgets
+//	                           from current compiler output and exit 0
+//	-perfbudget-dir DIR        budget directory (default
+//	                           internal/analyzers/testdata/perfbudget)
 //	-list                      list available checks and exit
 //
 // Patterns are directories or go-style recursive patterns such as
@@ -33,7 +45,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/analyzers"
 )
@@ -49,8 +64,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		checksFlag    = fs.String("checks", "", "comma-separated check IDs to run (default: all)")
 		baselineFlag  = fs.String("baseline", ".lint-baseline.json", "baseline file of grandfathered findings")
 		writeBaseline = fs.Bool("write-baseline", false, "rewrite the baseline from current findings")
+		pruneBaseline = fs.Bool("prune-baseline", false, "drop stale baseline entries and rewrite the baseline")
 		formatFlag    = fs.String("format", "text", "output format: text, json or github")
 		jsonFlag      = fs.Bool("json", false, "emit findings as JSON (same as -format=json)")
+		timingFlag    = fs.Bool("timing", false, "print per-check wall time and layer totals")
+		perfBudget    = fs.Bool("perfbudget", false, "diff compiler escape/bounds diagnostics of hot packages against committed budgets")
+		writeBudget   = fs.Bool("write-perfbudget", false, "regenerate the committed perf budgets and exit")
+		budgetDir     = fs.String("perfbudget-dir", "internal/analyzers/testdata/perfbudget", "perf budget directory")
 		listFlag      = fs.Bool("list", false, "list available checks and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -77,7 +97,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, c := range analyzers.AllInter() {
 			fmt.Fprintf(stdout, "%-12s %s\n", c.ID, c.Doc)
 		}
+		for _, c := range analyzers.AllFlow() {
+			fmt.Fprintf(stdout, "%-13s %s\n", c.ID, c.Doc)
+		}
 		return 0
+	}
+
+	if *perfBudget || *writeBudget {
+		return runPerfBudget(fs.Args(), *budgetDir, *writeBudget, stdout, stderr)
 	}
 
 	var ids []string
@@ -92,12 +119,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	var timings *analyzers.Timings
+	if *timingFlag {
+		timings = analyzers.CollectTimings()
+		defer analyzers.StopTimings()
+	}
 	res, err := analyzers.RunLayers(fs.Args(), sel)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	analyzers.Sort(res.Diags)
+	if timings != nil {
+		printTimings(stdout, timings)
+	}
+
+	if *pruneBaseline {
+		baseline, err := analyzers.LoadBaseline(*baselineFlag)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		pruned, removed := baseline.Prune(res.Diags)
+		if err := pruned.Save(*baselineFlag); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "lint: pruned %d stale entr%s from %s (%d left)\n",
+			removed, plural(removed, "y", "ies"), *baselineFlag, len(pruned.Findings))
+		return 0
+	}
 
 	if *writeBaseline {
 		b := analyzers.NewBaseline(res.Diags)
@@ -149,6 +200,98 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runPerfBudget implements -perfbudget / -write-perfbudget: collect
+// the compiler escape/bounds inventory of every //lint:hot package on
+// the surface and either diff it against the committed budgets or
+// rewrite them.
+func runPerfBudget(patterns []string, dir string, write bool, stdout, stderr io.Writer) int {
+	pkgs, err := analyzers.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	hot := analyzers.HotPackages(pkgs)
+	if len(hot) == 0 {
+		fmt.Fprintln(stdout, "lint: perfbudget: no //lint:hot packages on the surface")
+		return 0
+	}
+	modRoot, err := analyzers.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	failed := false
+	for _, pkg := range hot {
+		inv, err := analyzers.CollectPerfInventory(modRoot, pkg)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		path := filepath.Join(dir, analyzers.BudgetFileName(pkg.Path))
+		if write {
+			if err := inv.Save(path); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "lint: perfbudget: wrote %s (%d hot function(s))\n", path, len(inv.Functions))
+			continue
+		}
+		budget, err := analyzers.LoadPerfBudget(path)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		failures, improvements := analyzers.DiffPerfBudget(budget, inv)
+		for _, f := range failures {
+			fmt.Fprintf(stdout, "lint: perfbudget: FAIL %s\n", f)
+			failed = true
+		}
+		for _, imp := range improvements {
+			fmt.Fprintf(stdout, "lint: perfbudget: note %s\n", imp)
+		}
+		if len(failures) == 0 {
+			fmt.Fprintf(stdout, "lint: perfbudget: %s within budget (%d hot function(s))\n", pkg.Path, len(inv.Functions))
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// printTimings renders the per-layer and per-check wall times of one
+// run, slowest first.
+func printTimings(w io.Writer, t *analyzers.Timings) {
+	type row struct {
+		name string
+		d    time.Duration
+	}
+	render := func(kind string, m map[string]time.Duration) {
+		rows := make([]row, 0, len(m))
+		for name, d := range m {
+			rows = append(rows, row{name, d})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].d != rows[j].d {
+				return rows[i].d > rows[j].d
+			}
+			return rows[i].name < rows[j].name
+		})
+		for _, r := range rows {
+			fmt.Fprintf(w, "lint: timing %s %-13s %12s\n", kind, r.name, r.d.Round(time.Microsecond))
+		}
+	}
+	render("layer", t.Layers())
+	render("check", t.Checks())
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // ghMessage escapes a workflow-annotation message per the GitHub

@@ -27,6 +27,8 @@ func TestListFlag(t *testing.T) {
 	for _, id := range []string{
 		"nodeterm", "unitsuffix", "floateq", "droppederr", "lockbalance", "gorleak",
 		"unitflow", "typeassert", "lossyconv",
+		"ctxflow", "lockheld", "detertaint",
+		"hotpath", "nilerr", "useafterfinal",
 	} {
 		if !strings.Contains(out, id) {
 			t.Errorf("-list output missing %q", id)
@@ -128,5 +130,64 @@ func TestWriteBaselineThenClean(t *testing.T) {
 	}
 	if !strings.Contains(out, "0 finding(s) (2 baselined") {
 		t.Errorf("summary does not account for the baselined findings:\n%s", out)
+	}
+}
+
+func TestTimingFlag(t *testing.T) {
+	code, out, _ := runLint("-checks", "gorleak", "-timing", gorleakFixture)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (fixture has findings)", code)
+	}
+	if !strings.Contains(out, "lint: timing layer syntactic") {
+		t.Errorf("missing syntactic layer timing line:\n%s", out)
+	}
+	if !strings.Contains(out, "lint: timing check gorleak") {
+		t.Errorf("missing per-check timing line:\n%s", out)
+	}
+}
+
+func TestTimingOffByDefault(t *testing.T) {
+	_, out, _ := runLint("-checks", "gorleak", gorleakFixture)
+	if strings.Contains(out, "lint: timing") {
+		t.Errorf("timing lines printed without -timing:\n%s", out)
+	}
+}
+
+func TestPruneBaseline(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+	code, _, errOut := runLint("-checks", "gorleak", "-write-baseline", "-baseline", baseline, gorleakFixture)
+	if code != 0 {
+		t.Fatalf("-write-baseline exit %d, want 0; stderr: %s", code, errOut)
+	}
+	b, err := analyzers.LoadBaseline(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := len(b.Findings)
+	b.Findings = append(b.Findings, analyzers.BaselineEntry{
+		File: "deleted.go", Check: "gorleak", Message: "goroutine leak long since fixed",
+	})
+	if err := b.Save(baseline); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runLint("-checks", "gorleak", "-prune-baseline", "-baseline", baseline, gorleakFixture)
+	if code != 0 {
+		t.Fatalf("-prune-baseline exit %d, want 0; output:\n%s", code, out)
+	}
+	want := "pruned 1 stale entry from"
+	if !strings.Contains(out, want) {
+		t.Errorf("output %q does not contain %q", out, want)
+	}
+	pruned, err := analyzers.LoadBaseline(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned.Findings) != got {
+		t.Errorf("pruned baseline has %d entries, want %d", len(pruned.Findings), got)
+	}
+	// The real findings must still be grandfathered.
+	code, out, _ = runLint("-checks", "gorleak", "-baseline", baseline, gorleakFixture)
+	if code != 0 {
+		t.Fatalf("post-prune run exit %d, want 0; output:\n%s", code, out)
 	}
 }

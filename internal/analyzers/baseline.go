@@ -68,6 +68,31 @@ func (b Baseline) Save(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// Prune returns the baseline with every stale entry — one that no
+// current diagnostic matches — removed, alongside how many were
+// dropped. Matching is the same multiset rule as Apply.
+func (b Baseline) Prune(diags []Diagnostic) (Baseline, int) {
+	_, stale := b.Apply(diags)
+	type key struct{ file, check, message string }
+	rm := map[key]int{}
+	for _, e := range stale {
+		rm[key{e.File, e.Check, e.Message}]++
+	}
+	out := Baseline{Version: b.Version}
+	if out.Version == 0 {
+		out.Version = 1
+	}
+	for _, e := range b.Findings {
+		k := key{e.File, e.Check, e.Message}
+		if rm[k] > 0 {
+			rm[k]--
+			continue
+		}
+		out.Findings = append(out.Findings, e)
+	}
+	return out, len(stale)
+}
+
 // Apply splits diagnostics into new findings (not in the baseline) and
 // reports stale baseline entries that no longer fire, so the baseline
 // can be shrunk as debt is paid down.

@@ -1,0 +1,386 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildCFGOf parses a function named f from a snippet and builds its
+// CFG.
+func buildCFGOf(t *testing.T, fn string) (*CFG, *ast.FuncDecl, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	af, err := parser.ParseFile(fset, "cfg_fixture.go", "package p\n\n"+fn, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range af.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return BuildCFG(fd.Body), fd, fset
+		}
+	}
+	t.Fatal("no function f in snippet")
+	return nil, nil, nil
+}
+
+// blockOnLine finds the statement-level block holding the node that
+// starts on the given snippet line (1 = the func declaration line; the
+// two-line package prefix added by buildCFGOf is accounted for).
+func blockOnLine(t *testing.T, g *CFG, fset *token.FileSet, line int) *Block {
+	t.Helper()
+	for n, b := range g.blockOf {
+		if fset.Position(n.Pos()).Line == line+2 {
+			return b
+		}
+	}
+	t.Fatalf("no placed node on snippet line %d", line)
+	return nil
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g, _, _ := buildCFGOf(t, `func f() {
+	x := 1
+	x++
+	_ = x
+}`)
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry block holds %d node(s), want 3", len(g.Entry.Nodes))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("entry must flow straight to exit, got %d succ(s)", len(g.Entry.Succs))
+	}
+	for _, b := range g.Blocks {
+		if b.InLoop {
+			t.Fatalf("block %d marked InLoop in straight-line code", b.Index)
+		}
+	}
+}
+
+func TestCFGIfElseEdges(t *testing.T) {
+	g, _, fset := buildCFGOf(t, `func f(c bool) int {
+	if c {
+		return 1
+	} else {
+		return 2
+	}
+}`)
+	head := blockOnLine(t, g, fset, 2) // the condition
+	if head.Cond == nil {
+		t.Fatal("if head must record its condition")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("if head has %d succ(s), want 2", len(head.Succs))
+	}
+	thenB := blockOnLine(t, g, fset, 3)
+	elseB := blockOnLine(t, g, fset, 5)
+	if head.Succs[0] != thenB {
+		t.Errorf("Succs[0] must be the true edge (then block)")
+	}
+	if head.Succs[1] != elseB {
+		t.Errorf("Succs[1] must be the false edge (else block)")
+	}
+	if len(thenB.Succs) != 1 || thenB.Succs[0] != g.Exit {
+		t.Errorf("return must seal the then block to Exit")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g, _, fset := buildCFGOf(t, `func f(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}`)
+	body := blockOnLine(t, g, fset, 4)
+	if !body.InLoop {
+		t.Error("loop body must be marked InLoop")
+	}
+	// Line 3 holds init, condition, and post in three different blocks;
+	// find the head by its recorded condition instead.
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			head = b
+		}
+	}
+	if head == nil || len(head.Succs) != 2 {
+		t.Fatalf("loop head must branch on its condition")
+	}
+	if !head.InLoop {
+		t.Error("loop head must be marked InLoop")
+	}
+	if head.Succs[0] != body {
+		t.Error("Succs[0] of the loop head must enter the body")
+	}
+	ret := blockOnLine(t, g, fset, 6)
+	if ret.InLoop {
+		t.Error("code after the loop must not be InLoop")
+	}
+}
+
+func TestCFGRangePlacement(t *testing.T) {
+	g, fd, fset := buildCFGOf(t, `func f(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}`)
+	var rng *ast.RangeStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			rng = r
+		}
+		return true
+	})
+	head := g.BlockOf(rng)
+	if head == nil {
+		t.Fatal("RangeStmt must be placed in a block")
+	}
+	if !head.InLoop {
+		t.Error("range head re-binds key/value each iteration; it must be InLoop")
+	}
+	body := blockOnLine(t, g, fset, 4)
+	if !body.InLoop {
+		t.Error("range body must be InLoop")
+	}
+	if g.BlockOf(rng.Body.List[0]) == head {
+		t.Error("range body statements must not share the head block")
+	}
+}
+
+func TestCFGGotoLoop(t *testing.T) {
+	g, _, fset := buildCFGOf(t, `func f(n int) int {
+	i := 0
+top:
+	i++
+	if i < n {
+		goto top
+	}
+	return i
+}`)
+	inc := blockOnLine(t, g, fset, 4)
+	if !inc.InLoop {
+		t.Error("goto-formed cycle must mark its blocks InLoop")
+	}
+	ret := blockOnLine(t, g, fset, 8)
+	if ret.InLoop {
+		t.Error("the loop exit must not be InLoop")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g, _, fset := buildCFGOf(t, `func f(n int) int {
+	out := 0
+	switch n {
+	case 0:
+		out = 1
+		fallthrough
+	case 1:
+		out = 2
+	default:
+		out = 3
+	}
+	return out
+}`)
+	first := blockOnLine(t, g, fset, 5)  // out = 1
+	second := blockOnLine(t, g, fset, 8) // out = 2
+	found := false
+	for _, s := range first.Succs {
+		if s == second {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fallthrough must edge the first clause into the second")
+	}
+}
+
+func TestCFGTerminatingCall(t *testing.T) {
+	g, _, fset := buildCFGOf(t, `func f(c bool) {
+	if c {
+		panic("boom")
+	}
+	println("after")
+}`)
+	pan := blockOnLine(t, g, fset, 3)
+	if len(pan.Succs) != 1 || pan.Succs[0] != g.Exit {
+		t.Fatal("panic must seal its block to Exit")
+	}
+	after := blockOnLine(t, g, fset, 5)
+	for _, p := range after.Preds {
+		if p == pan {
+			t.Error("no fallthrough edge may leave a panicking block")
+		}
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g, _, fset := buildCFGOf(t, `func f(a, b chan int) int {
+	select {
+	case x := <-a:
+		return x
+	case <-b:
+		return 0
+	}
+}`)
+	first := blockOnLine(t, g, fset, 3)
+	second := blockOnLine(t, g, fset, 5)
+	if first == second {
+		t.Fatal("each comm clause needs its own block")
+	}
+	if len(first.Preds) != 1 || first.Preds[0] != second.Preds[0] {
+		t.Error("both clauses must hang off the select head")
+	}
+}
+
+// flowState is the test lattice: the set of names definitely assigned
+// on every path (intersection join), plus branch markers.
+type flowState map[string]bool
+
+func cloneFlow(s flowState) flowState {
+	out := make(flowState, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func testProblem() FlowProblem[flowState] {
+	return FlowProblem[flowState]{
+		Entry: func() flowState { return flowState{} },
+		Transfer: func(b *Block, in flowState) flowState {
+			st := cloneFlow(in)
+			for _, n := range b.Nodes {
+				if as, ok := n.(*ast.AssignStmt); ok {
+					for _, l := range as.Lhs {
+						if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+							st[id.Name] = true
+						}
+					}
+				}
+			}
+			return st
+		},
+		Branch: func(cond ast.Expr, taken bool, out flowState) flowState {
+			st := cloneFlow(out)
+			if taken {
+				st["@true"] = true
+			} else {
+				st["@false"] = true
+			}
+			return st
+		},
+		Join: func(a, b flowState) flowState {
+			out := flowState{}
+			for k := range a {
+				if b[k] {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		Equal: func(a, b flowState) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+func TestForwardFlowJoinIntersects(t *testing.T) {
+	g, _, fset := buildCFGOf(t, `func f(c bool) {
+	x := 1
+	if c {
+		y := 2
+		_ = y
+	} else {
+		z := 3
+		_ = z
+	}
+	w := 4
+	_ = w
+	_ = x
+}`)
+	in := ForwardFlow(g, testProblem())
+	joinBlock := blockOnLine(t, g, fset, 10) // w := 4
+	st, ok := in[joinBlock]
+	if !ok {
+		t.Fatal("join block unreachable")
+	}
+	if !st["x"] {
+		t.Error("x assigned on every path must survive the join")
+	}
+	if st["y"] || st["z"] {
+		t.Errorf("one-sided assignments must not survive an intersection join: %v", st)
+	}
+}
+
+func TestForwardFlowBranchRefinement(t *testing.T) {
+	g, _, fset := buildCFGOf(t, `func f(c bool) int {
+	if c {
+		return 1
+	}
+	return 0
+}`)
+	in := ForwardFlow(g, testProblem())
+	thenB := blockOnLine(t, g, fset, 3)
+	afterB := blockOnLine(t, g, fset, 5)
+	if st := in[thenB]; !st["@true"] || st["@false"] {
+		t.Errorf("true edge must carry the taken refinement, got %v", st)
+	}
+	if st := in[afterB]; !st["@false"] || st["@true"] {
+		t.Errorf("false edge must carry the not-taken refinement, got %v", st)
+	}
+}
+
+func TestForwardFlowLoopFixpoint(t *testing.T) {
+	g, _, fset := buildCFGOf(t, `func f(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total = total + i
+	}
+	return total
+}`)
+	in := ForwardFlow(g, testProblem())
+	ret := blockOnLine(t, g, fset, 6)
+	st, ok := in[ret]
+	if !ok {
+		t.Fatal("loop exit unreachable")
+	}
+	if !st["total"] {
+		t.Errorf("assignment before the loop must reach the exit, got %v", st)
+	}
+}
+
+func TestIsTerminatingCall(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"panic(1)", true},
+		{"os.Exit(1)", true},
+		{"runtime.Goexit()", true},
+		{"log.Fatalf(\"x\")", true},
+		{"fmt.Println(1)", false},
+		{"exit(1)", false},
+	}
+	for _, tc := range cases {
+		e, err := parser.ParseExpr(tc.src)
+		if err != nil {
+			t.Fatalf("parse %s: %v", tc.src, err)
+		}
+		if got := isTerminatingCall(e.(*ast.CallExpr)); got != tc.want {
+			t.Errorf("isTerminatingCall(%s) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package analyzers
+
+import "go/ast"
+
+// This file is the forward dataflow engine over the CFG: a classic
+// reverse-postorder worklist iterated to fixpoint. The framework is
+// generic in the state type; a check supplies the lattice operations
+// (Entry/Transfer/Join/Equal) and optionally an edge refinement
+// (Branch) that sharpens state along the true/false edges of a
+// conditional — how nilerr learns that `err != nil` held on the path
+// it is about to walk.
+
+// FlowProblem defines one forward dataflow problem over state type S.
+// Transfer must not mutate its input; it returns the state after the
+// block. Join merges a predecessor's contribution into an accumulated
+// state and must likewise leave its inputs usable. Branch, when
+// non-nil, refines the state flowing along the taken (true) or
+// not-taken (false) edge of a block whose Cond is set.
+type FlowProblem[S any] struct {
+	Entry    func() S
+	Transfer func(b *Block, in S) S
+	Branch   func(cond ast.Expr, taken bool, out S) S
+	Join     func(a, b S) S
+	Equal    func(a, b S) bool
+}
+
+// ForwardFlow solves the problem to fixpoint and returns the state at
+// entry to every reachable block. Unreachable blocks are absent from
+// the result.
+func ForwardFlow[S any](g *CFG, p FlowProblem[S]) map[*Block]S {
+	post := g.postorder()
+	// Reverse postorder: iteration order that visits predecessors
+	// first on acyclic stretches, minimizing passes.
+	rpo := make([]*Block, len(post))
+	for i, b := range post {
+		rpo[len(post)-1-i] = b
+	}
+	pos := map[*Block]int{}
+	for i, b := range rpo {
+		pos[b] = i
+	}
+
+	in := map[*Block]S{}
+	in[g.Entry] = p.Entry()
+	inQueue := map[*Block]bool{g.Entry: true}
+	queue := []*Block{g.Entry}
+	pop := func() *Block {
+		// Pick the earliest block in RPO currently queued; the queue
+		// stays tiny (≤ blocks), so a linear scan is fine.
+		best := 0
+		for i := 1; i < len(queue); i++ {
+			if pos[queue[i]] < pos[queue[best]] {
+				best = i
+			}
+		}
+		b := queue[best]
+		queue = append(queue[:best], queue[best+1:]...)
+		inQueue[b] = false
+		return b
+	}
+
+	for len(queue) > 0 {
+		b := pop()
+		out := p.Transfer(b, in[b])
+		for i, s := range b.Succs {
+			contrib := out
+			if p.Branch != nil && b.Cond != nil && len(b.Succs) == 2 {
+				contrib = p.Branch(b.Cond, i == 0, out)
+			}
+			old, ok := in[s]
+			var merged S
+			if !ok {
+				merged = contrib
+			} else {
+				merged = p.Join(old, contrib)
+			}
+			if !ok || !p.Equal(old, merged) {
+				in[s] = merged
+				if !inQueue[s] {
+					inQueue[s] = true
+					queue = append(queue, s)
+				}
+			}
+		}
+	}
+	return in
+}

@@ -104,14 +104,17 @@ func runInterOver(pkgs []*TypedPackage, checks []InterCheck) Result {
 	}
 	var diags []Diagnostic
 	for _, c := range checks {
-		for _, d := range c.Run(ic) {
-			// Keep findings on the pattern-matched surface: summaries may
-			// walk dependency packages, but their files are not lintable
-			// here (no suppression context, not requested).
-			if _, ok := ic.files[d.File]; ok {
-				diags = append(diags, d)
+		c := c
+		timeCheck(c.ID, func() {
+			for _, d := range c.Run(ic) {
+				// Keep findings on the pattern-matched surface: summaries may
+				// walk dependency packages, but their files are not lintable
+				// here (no suppression context, not requested).
+				if _, ok := ic.files[d.File]; ok {
+					diags = append(diags, d)
+				}
 			}
-		}
+		})
 	}
 	res.Diags = applyFileSuppressions(diags, ic.files)
 	sortDiags(res.Diags)
@@ -141,36 +144,50 @@ func applyFileSuppressions(diags []Diagnostic, files map[string]*TypedFile) []Di
 	return out
 }
 
-// RunLayers executes one lint pass across all three layers with a
+// RunLayers executes one lint pass across all four layers with a
 // single syntactic parse and a single type-checked load shared by the
-// typed and interprocedural layers — the entry cmd/lint uses so CI
-// pays the loader cost once, not twice.
+// typed, interprocedural, and flow-sensitive layers — the entry
+// cmd/lint uses so CI pays the loader cost once, not four times.
 func RunLayers(patterns []string, sel Selection) (Result, error) {
 	var res Result
 	if len(sel.Syntactic) > 0 {
-		r, err := Run(patterns, sel.Syntactic)
+		var r Result
+		var err error
+		timeLayer("syntactic", func() { r, err = Run(patterns, sel.Syntactic) })
 		if err != nil {
 			return Result{}, err
 		}
 		res = r
 	}
-	if len(sel.Typed) > 0 || len(sel.Inter) > 0 {
-		pkgs, err := Load(patterns)
+	if len(sel.Typed) > 0 || len(sel.Inter) > 0 || len(sel.Flow) > 0 {
+		var pkgs []*TypedPackage
+		var err error
+		timeLayer("load", func() { pkgs, err = Load(patterns) })
 		if err != nil {
 			return Result{}, err
 		}
 		files := 0
-		for _, p := range pkgs {
-			for _, f := range p.Files {
-				if len(sel.Typed) > 0 {
-					res.Diags = append(res.Diags, LintTypedFile(f, sel.Typed)...)
+		timeLayer("typed", func() {
+			for _, p := range pkgs {
+				for _, f := range p.Files {
+					if len(sel.Typed) > 0 {
+						res.Diags = append(res.Diags, LintTypedFile(f, sel.Typed)...)
+					}
+					files++
 				}
-				files++
 			}
-		}
+		})
 		if len(sel.Inter) > 0 {
-			ir := runInterOver(pkgs, sel.Inter)
-			res.Diags = append(res.Diags, ir.Diags...)
+			timeLayer("inter", func() {
+				ir := runInterOver(pkgs, sel.Inter)
+				res.Diags = append(res.Diags, ir.Diags...)
+			})
+		}
+		if len(sel.Flow) > 0 {
+			timeLayer("flow", func() {
+				fr := runFlowOver(pkgs, sel.Flow)
+				res.Diags = append(res.Diags, fr.Diags...)
+			})
 		}
 		if files > res.Files {
 			res.Files = files

@@ -143,7 +143,11 @@ func TestRunLayersMatchesSeparateRuns(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunInter: %v", err)
 	}
-	separate := append(append(syn.Diags, typed.Diags...), inter.Diags...)
+	flow, err := RunFlow(patterns, sel.Flow)
+	if err != nil {
+		t.Fatalf("RunFlow: %v", err)
+	}
+	separate := append(append(append(syn.Diags, typed.Diags...), inter.Diags...), flow.Diags...)
 	sortDiags(separate)
 	if len(combined.Diags) != len(separate) {
 		t.Fatalf("RunLayers found %d diagnostic(s), separate runs %d:\n%s\nvs\n%s",

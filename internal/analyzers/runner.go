@@ -167,7 +167,8 @@ func lintDir(dir string, checks []Check) ([]Diagnostic, int, error) {
 func LintFile(f *File, checks []Check) []Diagnostic {
 	dirs, diags := parseIgnores(f)
 	for _, c := range checks {
-		diags = append(diags, c.Run(f)...)
+		c := c
+		timeCheck(c.ID, func() { diags = append(diags, c.Run(f)...) })
 	}
 	diags = suppress(diags, dirs)
 	sortDiags(diags)

@@ -1,0 +1,69 @@
+// Package hotpathclean holds code the hotpath check must not flag:
+// the same patterns outside loops, in unmarked functions, or with the
+// allocation hoisted or pre-sized.
+package hotpathclean
+
+func release() {}
+
+func sink(v interface{}) {}
+
+// coldLoop has every pattern but no //lint:hot mark.
+func coldLoop(n int) []int {
+	var s []int
+	for i := 0; i < n; i++ {
+		m := make(map[int]int)
+		m[i] = i
+		s = append(s, len(m))
+		sink(i)
+	}
+	return s
+}
+
+// hoisted allocates once, outside the loop.
+//
+//lint:hot
+func hoisted(n int) int {
+	m := make(map[int]int)
+	total := 0
+	for i := 0; i < n; i++ {
+		m[i] = i
+		total += len(m)
+	}
+	return total
+}
+
+// preSized appends into capacity reserved up front.
+//
+//lint:hot
+func preSized(n int) []int {
+	s := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		s = append(s, i)
+	}
+	return s
+}
+
+// deferAtExit defers outside the loop.
+//
+//lint:hot
+func deferAtExit(n int) int {
+	defer release()
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// passThrough forwards an existing interface value and spreads a slice
+// through a variadic call: neither boxes anything new.
+//
+//lint:hot
+func passThrough(n int, v interface{}, args []interface{}) {
+	for i := 0; i < n; i++ {
+		sink(v)
+		variadic(args...)
+	}
+}
+
+func variadic(vs ...interface{}) {}

@@ -1,0 +1,62 @@
+// Package hotpathdirty is the golden dirty fixture for the hotpath
+// check: each allocation pattern inside a loop of a //lint:hot
+// function.
+package hotpathdirty
+
+func release() {}
+
+func sink(v interface{}) {}
+
+//lint:hot
+func deferInLoop(n int) {
+	for i := 0; i < n; i++ {
+		defer release()
+	}
+}
+
+//lint:hot
+func mapInLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		m := make(map[int]int)
+		m[i] = i
+		total += len(m)
+	}
+	return total
+}
+
+//lint:hot
+func mapLiteralInLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		m := map[int]int{i: i}
+		total += len(m)
+	}
+	return total
+}
+
+//lint:hot
+func appendNoCap(n int) []int {
+	var s []int
+	for i := 0; i < n; i++ {
+		s = append(s, i)
+	}
+	return s
+}
+
+//lint:hot
+func closureInLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		f := func() int { return total }
+		total += f()
+	}
+	return total
+}
+
+//lint:hot
+func boxingInLoop(n int) {
+	for i := 0; i < n; i++ {
+		sink(i)
+	}
+}

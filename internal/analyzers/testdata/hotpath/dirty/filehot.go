@@ -1,0 +1,11 @@
+// filehot.go carries the file-level directive: every function in this
+// file is hot, with no per-function mark.
+//
+//lint:hot
+package hotpathdirty
+
+func wholeFileHot(n int) {
+	for i := 0; i < n; i++ {
+		defer release()
+	}
+}

@@ -1,0 +1,21 @@
+// Package hotpathsuppressed verifies //lint:ignore works for hotpath
+// findings: the closure below launches one worker per shard, not one
+// per element.
+package hotpathsuppressed
+
+import "sync"
+
+//lint:hot
+func shards(n int, fn func(shard int)) {
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		s := s
+		wg.Add(1)
+		//lint:ignore hotpath one closure per shard, not per element
+		go func() {
+			defer wg.Done()
+			fn(s)
+		}()
+	}
+	wg.Wait()
+}

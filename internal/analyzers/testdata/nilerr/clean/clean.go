@@ -1,0 +1,72 @@
+// Package nilerrclean holds correct error flow the nilerr check must
+// not flag: the checked-then-used idiom, the close-error-precedence
+// idiom, reads through comparisons, escapes into closures, and bare
+// returns of named results.
+package nilerrclean
+
+import "errors"
+
+type handle struct{ name string }
+
+func (h *handle) Name() string { return h.name }
+func (h *handle) Close() error { return nil }
+func (h *handle) write() error { return nil }
+
+func open(name string) (*handle, error) {
+	if name == "" {
+		return nil, errors.New("empty name")
+	}
+	return &handle{name: name}, nil
+}
+
+func step(s string) error {
+	if s == "" {
+		return errors.New("empty step")
+	}
+	return nil
+}
+
+// checkedThenUsed is the canonical idiom: deref only on the nil-error
+// path.
+func checkedThenUsed() (string, error) {
+	f, err := open("x")
+	if err != nil {
+		return "", err
+	}
+	return f.Name(), nil
+}
+
+// closePrecedence reads the close error on only one arm — the write
+// error takes precedence — which is fine: some path reads it.
+func closePrecedence(name string) error {
+	f, err := open(name)
+	if err != nil {
+		return err
+	}
+	werr := f.write()
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// readInCondition consumes the error inside the if header.
+func readInCondition() error {
+	if err := step("x"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// escaped errors are read by the closure later; not tracked.
+func escaped() func() error {
+	err := step("x")
+	return func() error { return err }
+}
+
+// bareReturn reads the named error result implicitly.
+func bareReturn() (err error) {
+	err = step("x")
+	return
+}

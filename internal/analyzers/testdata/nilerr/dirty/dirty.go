@@ -1,0 +1,57 @@
+// Package nilerrdirty is the golden dirty fixture for the nilerr
+// check: one function per rule.
+package nilerrdirty
+
+import "errors"
+
+type handle struct{ name string }
+
+func (h *handle) Name() string { return h.name }
+
+func open(name string) (*handle, error) {
+	if name == "" {
+		return nil, errors.New("empty name")
+	}
+	return &handle{name: name}, nil
+}
+
+func step(s string) error {
+	if s == "" {
+		return errors.New("empty step")
+	}
+	return nil
+}
+
+// useOnErrPath dereferences the result on the branch where its
+// companion error is known non-nil (rule 1).
+func useOnErrPath() string {
+	f, err := open("x")
+	if err != nil {
+		return f.Name()
+	}
+	return f.Name()
+}
+
+// overwrite assigns a second error over one that was never read
+// (rule 2).
+func overwrite() error {
+	err := step("a")
+	err = step("b")
+	return err
+}
+
+// overwritePair loses the first call's error through a second
+// multi-assign before anything read it (rule 2).
+func overwritePair() (string, error) {
+	v, err := open("a")
+	w, err := open("b")
+	return v.Name() + w.Name(), err
+}
+
+// dropped assigns a named error result that no return ever reads
+// (rule 3).
+func dropped() (n int, err error) {
+	err = step("c")
+	n = 1
+	return n, nil
+}

@@ -1,0 +1,21 @@
+// Package nilerrsuppressed verifies //lint:ignore works for
+// flow-sensitive findings: the overwrite below is deliberate.
+package nilerrsuppressed
+
+import "errors"
+
+func step(s string) error {
+	if s == "" {
+		return errors.New("empty step")
+	}
+	return nil
+}
+
+// retryOverwrite drops the first attempt's error on purpose: only the
+// final attempt's outcome matters.
+func retryOverwrite() error {
+	err := step("first")
+	//lint:ignore nilerr only the last attempt's error is reported
+	err = step("second")
+	return err
+}

@@ -1,0 +1,54 @@
+// Package useafterfinalclean holds lifecycle idioms the useafterfinal
+// check must not flag: deferred finalizers, revivers, exempt
+// accessors, terminated paths, and reassignment.
+package useafterfinalclean
+
+type conn struct {
+	closed bool
+	n      int
+}
+
+func newConn() *conn { return &conn{} }
+
+func (c *conn) Stop()         { c.closed = true }
+func (c *conn) Send(s string) { c.n += len(s) }
+func (c *conn) Reopen()       { c.closed = false }
+func (c *conn) ID() int       { return c.n }
+
+// deferredStop finalizes at function exit, not at the defer site.
+func deferredStop(c *conn) {
+	defer c.Stop()
+	c.Send("a")
+	c.Send("b")
+}
+
+// revived handles are live again after Reopen.
+func revived(c *conn) {
+	c.Stop()
+	c.Reopen()
+	c.Send("again")
+}
+
+// exemptAfterStop reads an accessor that stays meaningful on a
+// finalized handle.
+func exemptAfterStop(c *conn) int {
+	c.Stop()
+	return c.ID()
+}
+
+// stoppedPathReturns: the finalizing branch leaves the function, so the
+// send below never runs on a closed handle.
+func stoppedPathReturns(c *conn, done bool) {
+	if done {
+		c.Stop()
+		return
+	}
+	c.Send("live")
+}
+
+// reassigned gets a fresh handle after stopping the old one.
+func reassigned(c *conn) {
+	c.Stop()
+	c = newConn()
+	c.Send("fresh")
+}

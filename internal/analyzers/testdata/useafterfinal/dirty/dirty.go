@@ -1,0 +1,41 @@
+// Package useafterfinaldirty is the golden dirty fixture for the
+// useafterfinal check: methods reaching a handle after its finalizer
+// on at least one path.
+package useafterfinaldirty
+
+type conn struct {
+	closed bool
+	n      int
+}
+
+func newConn() *conn { return &conn{} }
+
+func (c *conn) Close()        { c.closed = true }
+func (c *conn) Send(s string) { c.n += len(s) }
+func (c *conn) Reopen()       { c.closed = false }
+func (c *conn) ID() int       { return c.n }
+
+// straightLine closes and keeps sending (every path).
+func straightLine(c *conn) {
+	c.Send("a")
+	c.Close()
+	c.Send("b")
+}
+
+// branchClose closes on one branch only; the send after the join is
+// still a use-after-final on that path.
+func branchClose(c *conn, flush bool) {
+	if flush {
+		c.Close()
+	}
+	c.Send("tail")
+}
+
+// loopClose closes at the end of an iteration; the next iteration's
+// send runs on a finalized handle via the back edge.
+func loopClose(c *conn, n int) {
+	for i := 0; i < n; i++ {
+		c.Send("x")
+		c.Close()
+	}
+}

@@ -1,0 +1,16 @@
+// Package useafterfinalsuppressed verifies //lint:ignore works for
+// flow-sensitive lifecycle findings.
+package useafterfinalsuppressed
+
+type conn struct{ n int }
+
+func (c *conn) Close()        { c.n = -1 }
+func (c *conn) Send(s string) { c.n += len(s) }
+
+// flushAfterClose sends a final farewell frame after Close on purpose:
+// the wire stays readable until the peer acks.
+func flushAfterClose(c *conn) {
+	c.Close()
+	//lint:ignore useafterfinal farewell frame is part of the close handshake
+	c.Send("bye")
+}

@@ -1,0 +1,101 @@
+package analyzers
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the optional wall-time instrumentation behind
+// cmd/lint -timing: per-check and per-layer durations for one run, so
+// a BenchmarkRunAll CI gate failure can be pinned on the check that
+// grew slow instead of bisected by hand. Collection is off unless a
+// caller installs a sink, so the library's normal path costs a single
+// atomic load per check invocation.
+
+// Timings accumulates the durations of one lint run.
+type Timings struct {
+	mu     sync.Mutex
+	checks map[string]time.Duration
+	layers map[string]time.Duration
+}
+
+// timingSink is the active collector (nil when disabled).
+var timingSink atomic.Pointer[Timings]
+
+// CollectTimings installs and returns a fresh collector; every
+// subsequent Run/RunLayers records into it until StopTimings.
+func CollectTimings() *Timings {
+	t := &Timings{
+		checks: map[string]time.Duration{},
+		layers: map[string]time.Duration{},
+	}
+	timingSink.Store(t)
+	return t
+}
+
+// StopTimings uninstalls the active collector.
+func StopTimings() {
+	timingSink.Store(nil)
+}
+
+// Checks returns the accumulated per-check durations.
+func (t *Timings) Checks() map[string]time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]time.Duration, len(t.checks))
+	for k, v := range t.checks {
+		out[k] = v
+	}
+	return out
+}
+
+// Layers returns the accumulated per-layer durations (including the
+// shared type-checked load as layer "load").
+func (t *Timings) Layers() map[string]time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]time.Duration, len(t.layers))
+	for k, v := range t.layers {
+		out[k] = v
+	}
+	return out
+}
+
+func (t *Timings) addCheck(id string, d time.Duration) {
+	t.mu.Lock()
+	t.checks[id] += d
+	t.mu.Unlock()
+}
+
+func (t *Timings) addLayer(name string, d time.Duration) {
+	t.mu.Lock()
+	t.layers[name] += d
+	t.mu.Unlock()
+}
+
+// timeCheck runs one check invocation, attributing its wall time when
+// collection is on.
+func timeCheck(id string, f func()) {
+	t := timingSink.Load()
+	if t == nil {
+		f()
+		return
+	}
+	start := time.Now()
+	f()
+	t.addCheck(id, time.Since(start))
+}
+
+// timeLayer runs one layer phase, attributing its wall time when
+// collection is on.
+func timeLayer(name string, f func()) {
+	t := timingSink.Load()
+	if t == nil {
+		f()
+		return
+	}
+	start := time.Now()
+	f()
+	t.addLayer(name, time.Since(start))
+}

@@ -61,19 +61,20 @@ func AllTyped() []TypedCheck {
 	return cs
 }
 
-// Selection names the checks of one lint run across all three layers.
+// Selection names the checks of one lint run across all four layers.
 type Selection struct {
 	Syntactic []Check
 	Typed     []TypedCheck
 	Inter     []InterCheck
+	Flow      []FlowCheck
 }
 
-// SelectAll resolves check IDs across the syntactic, typed, and
-// interprocedural suites (all checks of every layer when ids is empty),
-// or returns an error naming any unknown ID.
+// SelectAll resolves check IDs across the syntactic, typed,
+// interprocedural, and flow-sensitive suites (all checks of every
+// layer when ids is empty), or returns an error naming any unknown ID.
 func SelectAll(ids []string) (Selection, error) {
 	if len(ids) == 0 {
-		return Selection{Syntactic: All(), Typed: AllTyped(), Inter: AllInter()}, nil
+		return Selection{Syntactic: All(), Typed: AllTyped(), Inter: AllInter(), Flow: AllFlow()}, nil
 	}
 	syn := map[string]Check{}
 	for _, c := range All() {
@@ -87,6 +88,10 @@ func SelectAll(ids []string) (Selection, error) {
 	for _, c := range AllInter() {
 		inter[c.ID] = c
 	}
+	flow := map[string]FlowCheck{}
+	for _, c := range AllFlow() {
+		flow[c.ID] = c
+	}
 	var sel Selection
 	for _, id := range ids {
 		if c, ok := syn[id]; ok {
@@ -99,6 +104,10 @@ func SelectAll(ids []string) (Selection, error) {
 		}
 		if c, ok := inter[id]; ok {
 			sel.Inter = append(sel.Inter, c)
+			continue
+		}
+		if c, ok := flow[id]; ok {
+			sel.Flow = append(sel.Flow, c)
 			continue
 		}
 		return Selection{}, fmt.Errorf("analyzers: unknown check %q", id)
@@ -152,7 +161,8 @@ func LintTypedFile(f *TypedFile, checks []TypedCheck) []Diagnostic {
 	dirs, _ := parseIgnores(&f.File)
 	var diags []Diagnostic
 	for _, c := range checks {
-		diags = append(diags, c.Run(f)...)
+		c := c
+		timeCheck(c.ID, func() { diags = append(diags, c.Run(f)...) })
 	}
 	diags = suppress(diags, dirs)
 	sortDiags(diags)

@@ -72,6 +72,8 @@ func NewRing(seed int64, vnodes int) *Ring {
 // finalizer scrambles the low-entropy tail. Both pieces are fixed
 // algorithms, so placement stays reproducible across processes and Go
 // versions.
+//
+//lint:hot
 func hash64(seed int64, s string) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
@@ -141,6 +143,8 @@ func (r *Ring) Len() int {
 
 // Owner returns the member owning key: the first virtual point at or
 // clockwise past the key's hash. Empty string on an empty ring.
+//
+//lint:hot
 func (r *Ring) Owner(key string) string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -154,6 +158,8 @@ func (r *Ring) Owner(key string) string {
 // starting at key's owner — the retry order when the owner fails:
 // advancing to the next distinct member is exactly the placement the
 // ring converges to once the failed member is removed.
+//
+//lint:hot
 func (r *Ring) Successors(key string, n int) []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -177,6 +183,8 @@ func (r *Ring) Successors(key string, n int) []string {
 
 // search finds the index of the first point with hash >= key's hash,
 // wrapping to 0. Caller holds a lock.
+//
+//lint:hot
 func (r *Ring) search(key string) int {
 	h := hash64(r.seed, key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })

@@ -39,6 +39,8 @@ func (t *HandlerTransport) Reopen() { t.closed.Store(false) }
 // context: when the handler outlives req.Context(), RoundTrip abandons
 // it and returns ctx.Err() — otherwise a hung replica would stall
 // health probes and forwards past their deadlines forever.
+//
+//lint:hot
 func (t *HandlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if t.closed.Load() {
 		return nil, fmt.Errorf("cluster: transport to %s closed (replica down)", req.URL.Host)

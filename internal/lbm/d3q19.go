@@ -60,6 +60,8 @@ func init() {
 // expansion standard for isothermal LBM:
 //
 //	feq_q = w_q rho (1 + 3 c·u + 9/2 (c·u)^2 - 3/2 u·u)
+//
+//lint:hot
 func Equilibrium(rho, ux, uy, uz float64, feq *[NQ]float64) {
 	usq := 1.5 * (ux*ux + uy*uy + uz*uz)
 	for q := 0; q < NQ; q++ {
@@ -69,6 +71,8 @@ func Equilibrium(rho, ux, uy, uz float64, feq *[NQ]float64) {
 }
 
 // Moments returns density and momentum-derived velocity of a distribution.
+//
+//lint:hot
 func Moments(f *[NQ]float64) (rho, ux, uy, uz float64) {
 	for q := 0; q < NQ; q++ {
 		rho += f[q]

@@ -1,3 +1,4 @@
+//lint:hot
 package lbm
 
 import (

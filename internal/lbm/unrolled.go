@@ -1,3 +1,4 @@
+//lint:hot
 package lbm
 
 // Hand-unrolled SOA kernels. The paper's proxy-app figures distinguish SOA
