@@ -48,8 +48,10 @@ func CollideCell(cell *[NQ]float64, p Params, gx, gy, gz float64) {
 		// Rest direction has no antisymmetric part.
 		cell[0] -= omegaP * (cell[0] - feq[0])
 		for q := 1; q < NQ; q++ {
+			// The o >= NQ arm never fires (Opp is a permutation); it is
+			// the bounds proof for the cell[o] accesses below.
 			o := Opp[q]
-			if o < q {
+			if o < q || o >= NQ {
 				continue // each pair handled once
 			}
 			fp := 0.5 * (cell[q] + cell[o])

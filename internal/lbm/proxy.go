@@ -75,6 +75,11 @@ type Proxy struct {
 	fluidCount int
 	steps      int
 
+	// rangeFn is the configured kernel's slab worker, bound once here:
+	// binding a method value inside Step would allocate a closure every
+	// timestep.
+	rangeFn func(zLo, zHi int)
+
 	// threads is the OpenMP-style worker count; kernels split the z range
 	// into slabs. 1 (the default) runs serially. All kernel passes are
 	// hazard-free across sites (AB writes a second array; both AA passes
@@ -134,6 +139,16 @@ func NewProxy(cfg KernelConfig, nxLen int, radius float64, p Params) (*Proxy, er
 		for q := 0; q < NQ; q++ {
 			pr.f[pr.slot(i, q)] = feq[q]
 		}
+	}
+	switch {
+	case cfg.Pattern == AB && cfg.Unrolled:
+		pr.rangeFn = pr.stepABUnrolledRange
+	case cfg.Pattern == AB:
+		pr.rangeFn = pr.stepABRange
+	case cfg.Pattern == AA && cfg.Unrolled:
+		pr.rangeFn = pr.stepAAUnrolledRange
+	default:
+		pr.rangeFn = pr.stepAARange
 	}
 	return pr, nil
 }
@@ -211,17 +226,13 @@ func (p *Proxy) FluidPoints() int { return p.fluidCount }
 // Steps returns completed timesteps.
 func (p *Proxy) Steps() int { return p.steps }
 
-// Step advances one timestep using the configured kernel variant.
+// Step advances one timestep using the kernel variant bound at
+// construction. AB kernels pull-stream from f into g, so the arrays swap
+// after the pass; AA kernels work in place.
 func (p *Proxy) Step() {
-	switch {
-	case p.Config.Pattern == AB && p.Config.Unrolled:
-		p.stepABUnrolledSOA()
-	case p.Config.Pattern == AB:
-		p.stepAB()
-	case p.Config.Pattern == AA && p.Config.Unrolled:
-		p.stepAAUnrolledSOA()
-	default:
-		p.stepAA()
+	p.zSlabs(p.rangeFn)
+	if p.Config.Pattern == AB {
+		p.f, p.g = p.g, p.f
 	}
 	p.steps++
 }
@@ -246,14 +257,9 @@ func (p *Proxy) collideForce(cell *[NQ]float64) {
 	}
 }
 
-// stepAB: fused pull-stream + collide from f into g, then swap. Safe to
-// run slab-parallel: f is read-only and each site writes only its own g
-// slots.
-func (p *Proxy) stepAB() {
-	p.zSlabs(p.stepABRange)
-	p.f, p.g = p.g, p.f
-}
-
+// stepABRange is the fused pull-stream + collide AB kernel from f into
+// g over one z slab. Safe to run slab-parallel: f is read-only and each
+// site writes only its own g slots.
 func (p *Proxy) stepABRange(zLo, zHi int) {
 	var cell [NQ]float64
 	for z := zLo; z < zHi; z++ {
@@ -280,14 +286,11 @@ func (p *Proxy) stepABRange(zLo, zHi int) {
 	}
 }
 
-// stepAA: Bailey's AA pattern on a single array. Even steps collide in
-// place writing opposite slots; odd steps gather from neighbors' opposite
-// slots, collide, and scatter to neighbors' normal slots. Site updates are
-// hazard-free (each slot is read and written by exactly one site per pass).
-func (p *Proxy) stepAA() {
-	p.zSlabs(p.stepAARange)
-}
-
+// stepAARange is Bailey's AA pattern on a single array, over one z slab.
+// Even steps collide in place writing opposite slots; odd steps gather
+// from neighbors' opposite slots, collide, and scatter to neighbors'
+// normal slots. Site updates are hazard-free (each slot is read and
+// written by exactly one site per pass).
 func (p *Proxy) stepAARange(zLo, zHi int) {
 	var cell [NQ]float64
 	even := p.steps%2 == 0
