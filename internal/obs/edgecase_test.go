@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// Exporter edge cases: empty span sets, instruments that never saw a
+// sample, and traces whose simulated clock never left zero. These are
+// the states a run produces when it fails early or does nothing, and
+// the exporters must still emit well-formed output for them.
+
+func TestChromeTraceEmptySpanSet(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatalf("write empty: %v", err)
+	}
+	var raw struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	// Still a loadable trace: the process_name metadata event and nothing else.
+	if len(raw.TraceEvents) != 1 || raw.TraceEvents[0]["ph"] != "M" {
+		t.Fatalf("empty trace events = %v, want single metadata event", raw.TraceEvents)
+	}
+	got, err := ReadChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read empty: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty trace round-tripped %d spans", len(got))
+	}
+}
+
+func TestAggregateAndSummaryEmptySpanSet(t *testing.T) {
+	if aggs := AggregateSpans(nil); len(aggs) != 0 {
+		t.Fatalf("AggregateSpans(nil) = %v", aggs)
+	}
+	out := RenderSummary(nil, nil)
+	if !strings.Contains(out, "0 span(s)") {
+		t.Fatalf("empty summary missing span count:\n%s", out)
+	}
+	if !strings.Contains(out, "makespan 0.00s") {
+		t.Fatalf("empty summary makespan not zero:\n%s", out)
+	}
+	// No aggregate table header when there is nothing to tabulate.
+	if strings.Contains(out, "self_sim_s") {
+		t.Fatalf("empty summary rendered an aggregate table:\n%s", out)
+	}
+}
+
+func TestMetricsWithNoSamples(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("events_total")
+	r.Gauge("depth")
+	r.Histogram("wait_s", []float64{1, 10})
+
+	ms := r.Snapshot()
+	if len(ms) != 3 {
+		t.Fatalf("snapshot has %d metrics, want 3 (unsampled instruments must still export)", len(ms))
+	}
+	for _, m := range ms {
+		if m.Type == "histogram" {
+			if m.Count != 0 {
+				t.Fatalf("unsampled histogram count = %d", m.Count)
+			}
+			if q := m.Quantile(0.5); !math.IsNaN(q) {
+				t.Fatalf("quantile of empty histogram = %v, want NaN", q)
+			}
+		} else if m.Value != 0 {
+			t.Fatalf("unsampled %s %s value = %v", m.Type, m.Name, m.Value)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteMetricsText(&buf, ms); err != nil {
+		t.Fatalf("write text: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE events_total counter",
+		"events_total 0",
+		"depth 0",
+		`wait_s_bucket{le="+Inf"} 0`,
+		"wait_s_count 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// The text summary must tabulate the empty histogram without
+	// crashing on its NaN quantiles.
+	out := RenderSummary(nil, ms)
+	if !strings.Contains(out, "wait_s") || !strings.Contains(out, "NaN") {
+		t.Fatalf("summary of unsampled metrics:\n%s", out)
+	}
+}
+
+func TestChromeTraceZeroSimClock(t *testing.T) {
+	// A tracer whose simulated clock never advances: every span starts
+	// and ends at sim time 0, so ts and dur are both zero.
+	tr := NewTracer(7)
+	tr.SetClock(fixedClock(1000))
+	root := tr.Start("boot", 0)
+	child := tr.StartChild(root, "init", 0)
+	child.End(0)
+	root.End(0)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Spans()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// ts and dur are pointer-typed exactly so a zero sim clock still
+	// serializes them; omitempty on plain float64 would drop both and
+	// make the trace unreadable.
+	text := buf.String()
+	if !strings.Contains(text, `"ts":0`) || !strings.Contains(text, `"dur":0`) {
+		t.Fatalf("zero-clock trace dropped ts/dur:\n%s", text)
+	}
+
+	got, err := ReadChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read zero-clock trace: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("round trip lost spans: %d", len(got))
+	}
+	for i, s := range got {
+		if s.SimStartS != 0 || s.SimEndS != 0 {
+			t.Fatalf("span %d sim times not zero: %+v", i, s)
+		}
+		if !s.Ended {
+			t.Fatalf("span %d lost Ended on zero-duration round trip", i)
+		}
+	}
+
+	// Zero-duration spans aggregate to zero self time, not NaN.
+	aggs := AggregateSpans(tr.Spans())
+	for _, a := range aggs {
+		if a.SelfSimS != 0 || a.TotalSimS != 0 {
+			t.Fatalf("zero-clock aggregate %+v", a)
+		}
+	}
+}
