@@ -13,8 +13,16 @@
 //	                                 instances (e.g. cmd/serve processes)
 //
 // Router endpoints: the /v1 planning API (forwarded), GET /v1/cluster
-// (topology + key shares), POST /v1/cluster/drain?replica=NAME
-// (&undrain=1), GET /v1/healthz, GET /v1/metrics.
+// (topology + key shares), GET /v1/cluster/telemetry (merged fleet
+// metrics + RED + SLO burn state; ?format=prom, ?refresh=1), POST
+// /v1/cluster/drain?replica=NAME (&undrain=1), GET /v1/healthz,
+// GET /v1/metrics.
+//
+// Every forwarded request carries a traceparent header, so replica
+// spans nest under the router's forward spans. -trace and
+// -replica-trace-dir export the span logs as JSONL at shutdown;
+// cmd/trace -merge -format=tree stitches them into one tree per
+// request. -debug-addr exposes net/http/pprof on a separate listener.
 //
 // SIGINT/SIGTERM drain the router, then (in -spawn mode) terminate the
 // children.
@@ -39,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -58,48 +67,63 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 256, "concurrently forwarded planning requests before shedding 429s")
 	healthEvery := flag.Duration("health-interval", 2*time.Second, "replica health poll period (0 disables)")
 	healthFails := flag.Int("health-failures", 2, "consecutive failures marking a replica dead")
+	telemetryEvery := flag.Duration("telemetry-interval", 5*time.Second, "fleet telemetry scrape period (0 disables; GET /v1/cluster/telemetry?refresh=1 still works)")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (off when empty; never on -addr)")
+	traceFile := flag.String("trace", "", "write the span log as JSONL here at shutdown (router, or replica in -replica mode)")
+	traceSeed := flag.Int64("trace-seed", 0, "span-ID seed (default -seed; -spawn replicas get -seed+1+i automatically)")
+	replicaTraceDir := flag.String("replica-trace-dir", "", "directory for per-replica span JSONL exports (in-process and -spawn replicas)")
 
 	samples := flag.Int("samples", 5, "replica microbenchmark samples (in-process and -spawn replicas)")
 	cacheEntries := flag.Int("cache", 64, "replica calibration cache capacity (in-process and -spawn replicas)")
 	flag.Parse()
 
+	if *traceSeed == 0 {
+		*traceSeed = *seed
+	}
 	if *replicaMode {
-		runReplica(*addr, *samples, *cacheEntries, *calibSeed)
+		runReplica(*addr, *samples, *cacheEntries, *calibSeed, *traceFile, *traceSeed)
 		return
 	}
 
 	var (
-		replicas []cluster.Replica
-		children []*exec.Cmd
-		err      error
+		replicas       []cluster.Replica
+		replicaTracers []*obs.Tracer // in-process replicas only; exported at shutdown
+		children       []*exec.Cmd
+		err            error
 	)
 	switch {
 	case *join != "":
 		replicas = joinReplicas(*join)
 	case *nSpawn > 0:
-		replicas, children, err = spawnReplicas(*nSpawn, *basePort, *samples, *cacheEntries, *calibSeed)
+		replicas, children, err = spawnReplicas(*nSpawn, *basePort, *samples, *cacheEntries, *calibSeed, *traceSeed, *replicaTraceDir)
 		fatal(err)
 	default:
 		n := *nInproc
 		if n <= 0 {
 			n = 3
 		}
-		replicas, err = inprocReplicas(n, *samples, *cacheEntries, *calibSeed)
+		replicas, replicaTracers, err = inprocReplicas(n, *samples, *cacheEntries, *calibSeed, *traceSeed)
 		fatal(err)
 	}
 
+	// The router's span seed must differ from every replica's: span IDs
+	// derive from seed+sequence, and a merged trace needs them distinct.
+	routerTracer := obs.NewTracer(*traceSeed)
 	c, err := cluster.New(cluster.Config{
-		Replicas:       replicas,
-		VirtualNodes:   *vnodes,
-		Seed:           *seed,
-		DefaultSeed:    *calibSeed,
-		TenantRate:     *tenantRPS,
-		TenantBurst:    *tenantBurst,
-		MaxInflight:    *maxInflight,
-		HealthInterval: *healthEvery,
-		HealthFailures: *healthFails,
+		Replicas:          replicas,
+		VirtualNodes:      *vnodes,
+		Seed:              *seed,
+		DefaultSeed:       *calibSeed,
+		TenantRate:        *tenantRPS,
+		TenantBurst:       *tenantBurst,
+		MaxInflight:       *maxInflight,
+		HealthInterval:    *healthEvery,
+		HealthFailures:    *healthFails,
+		TelemetryInterval: *telemetryEvery,
+		Tracer:            routerTracer,
 	})
 	fatal(err)
+	startDebugServer(*debugAddr)
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -138,6 +162,12 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "cluster:", err)
 	}
+	writeTrace(*traceFile, routerTracer)
+	for i, tr := range replicaTracers {
+		if *replicaTraceDir != "" {
+			writeTrace(replicaTracePath(*replicaTraceDir, i), tr)
+		}
+	}
 	// Like cmd/serve: a clean signal-driven shutdown still exits
 	// non-zero — the service was asked to die mid-job.
 	fmt.Fprintln(os.Stderr, "cluster: shutdown complete")
@@ -145,12 +175,16 @@ func main() {
 }
 
 // runReplica is the -replica role: one serve.Server on addr, the unit
-// -spawn mode multiplies.
-func runReplica(addr string, samples, cacheEntries int, calibSeed int64) {
+// -spawn mode multiplies. traceFile, when set, receives the replica's
+// span log as JSONL at shutdown so cmd/trace -merge can stitch it back
+// under the router's forward spans.
+func runReplica(addr string, samples, cacheEntries int, calibSeed int64, traceFile string, traceSeed int64) {
+	tracer := obs.NewTracer(traceSeed)
 	srv, err := serve.New(serve.Config{
 		Samples:      samples,
 		DefaultSeed:  calibSeed,
 		CacheEntries: cacheEntries,
+		Tracer:       tracer,
 	})
 	fatal(err)
 	hs := &http.Server{Addr: addr, Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
@@ -172,21 +206,28 @@ func runReplica(addr string, samples, cacheEntries int, calibSeed int64) {
 	if err := srv.Close(shutdownCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "cluster-replica:", err)
 	}
+	writeTrace(traceFile, tracer)
 	os.Exit(1)
 }
 
 // inprocReplicas builds n serve.Servers wired through in-process
-// transports — zero sockets, the fastest single-host topology.
-func inprocReplicas(n, samples, cacheEntries int, calibSeed int64) ([]cluster.Replica, error) {
+// transports — zero sockets, the fastest single-host topology. Each
+// replica's tracer is seeded baseTraceSeed+1+i: distinct from the
+// router's and from each other's, so one merged trace never collides
+// span IDs.
+func inprocReplicas(n, samples, cacheEntries int, calibSeed, baseTraceSeed int64) ([]cluster.Replica, []*obs.Tracer, error) {
 	replicas := make([]cluster.Replica, n)
+	tracers := make([]*obs.Tracer, n)
 	for i := range replicas {
+		tracers[i] = obs.NewTracer(baseTraceSeed + 1 + int64(i))
 		srv, err := serve.New(serve.Config{
 			Samples:      samples,
 			DefaultSeed:  calibSeed,
 			CacheEntries: cacheEntries,
+			Tracer:       tracers[i],
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		name := fmt.Sprintf("r%d", i)
 		replicas[i] = cluster.Replica{
@@ -195,12 +236,14 @@ func inprocReplicas(n, samples, cacheEntries int, calibSeed int64) ([]cluster.Re
 			Transport: cluster.NewHandlerTransport(srv.Handler()),
 		}
 	}
-	return replicas, nil
+	return replicas, tracers, nil
 }
 
 // spawnReplicas re-executes this binary n times with -replica on
-// consecutive loopback ports and waits for each /v1/healthz.
-func spawnReplicas(n, basePort, samples, cacheEntries int, calibSeed int64) ([]cluster.Replica, []*exec.Cmd, error) {
+// consecutive loopback ports and waits for each /v1/healthz. With a
+// traceDir, each child exports its span log there under a distinct
+// span seed (baseTraceSeed+1+i).
+func spawnReplicas(n, basePort, samples, cacheEntries int, calibSeed, baseTraceSeed int64, traceDir string) ([]cluster.Replica, []*exec.Cmd, error) {
 	self, err := os.Executable()
 	if err != nil {
 		return nil, nil, err
@@ -210,11 +253,16 @@ func spawnReplicas(n, basePort, samples, cacheEntries int, calibSeed int64) ([]c
 	for i := range replicas {
 		port := basePort + i
 		addr := fmt.Sprintf("127.0.0.1:%d", port)
-		cmd := exec.Command(self, "-replica",
+		args := []string{"-replica",
 			"-addr", addr,
 			"-samples", fmt.Sprint(samples),
 			"-cache", fmt.Sprint(cacheEntries),
-			"-calib-seed", fmt.Sprint(calibSeed))
+			"-calib-seed", fmt.Sprint(calibSeed),
+			"-trace-seed", fmt.Sprint(baseTraceSeed + 1 + int64(i))}
+		if traceDir != "" {
+			args = append(args, "-trace", replicaTracePath(traceDir, i))
+		}
+		cmd := exec.Command(self, args...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -306,6 +354,49 @@ func reapChildren(children []*exec.Cmd) {
 			}
 		}
 	}
+}
+
+// replicaTracePath is the per-replica span export path shared by the
+// in-process writer, the -spawn child flags, and the documentation.
+func replicaTracePath(dir string, i int) string {
+	return fmt.Sprintf("%s/r%d.jsonl", dir, i)
+}
+
+// startDebugServer exposes the pprof mux on its own listener; the
+// router mux never carries the debug endpoints.
+func startDebugServer(addr string) {
+	if addr == "" {
+		return
+	}
+	hs := &http.Server{Addr: addr, Handler: serve.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+	//lint:ignore gorleak the debug listener deliberately lives until process exit; profiling must stay reachable through shutdown
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "cluster: debug listener:", err)
+		}
+	}()
+	fmt.Printf("cluster: pprof on %s (debug only; not on the router mux)\n", addr)
+}
+
+// writeTrace exports a tracer's span log as JSONL for cmd/trace.
+func writeTrace(path string, tracer *obs.Tracer) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluster: trace export:", err)
+		return
+	}
+	err = obs.WriteJSONL(f, tracer.Spans())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluster: trace export:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "cluster: trace written to %s\n", path)
 }
 
 func fatal(err error) {

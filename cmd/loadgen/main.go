@@ -73,6 +73,19 @@ type benchReport struct {
 	CacheHitRate   float64 `json:"cache_hit_rate"`
 	Shed           int     `json:"shed"`
 	Errors         int     `json:"errors"`
+
+	SlowestTraces []exemplar `json:"slowest_traces,omitempty"`
+}
+
+// exemplar ties a tail-latency observation back to its distributed
+// trace: the X-Trace-Id of one of the window's slowest requests, so a
+// bad quantile in a report links directly to the span tree that
+// produced it (cmd/trace -merge -format=tree, grep the trace ID).
+type exemplar struct {
+	TraceID   string  `json:"trace_id"`
+	LatencyMS float64 `json:"latency_ms"`
+	Status    int     `json:"status"`
+	Replica   string  `json:"replica,omitempty"`
 }
 
 // windowStats is one measured window (cluster arm or baseline arm of
@@ -88,6 +101,8 @@ type windowStats struct {
 	Status       map[string]int `json:"status"`
 	Errors       int            `json:"errors"`
 	CacheHitRate float64        `json:"cache_hit_rate"`
+
+	SlowestTraces []exemplar `json:"slowest_traces,omitempty"`
 }
 
 type replicaStats struct {
@@ -120,16 +135,18 @@ type workerStats struct {
 	status   map[int]int
 	replicas map[string]int // X-Replica counts (cluster mode)
 	errors   int
+	slow     []exemplar // this worker's slowest requests, descending
 }
 
 // runSpec parameterizes one measured window over one target.
 type runSpec struct {
-	client   *http.Client
-	url      string   // predict endpoint
-	bodies   [][]byte // request bodies, cycled per request
-	workers  int
-	duration time.Duration
-	rate     float64 // offered arrivals/s; 0 = closed loop
+	client    *http.Client
+	url       string   // predict endpoint
+	bodies    [][]byte // request bodies, cycled per request
+	workers   int
+	duration  time.Duration
+	rate      float64 // offered arrivals/s; 0 = closed loop
+	exemplars int     // slowest-trace exemplars to keep (0 disables)
 }
 
 type runResult struct {
@@ -138,6 +155,7 @@ type runResult struct {
 	replicas map[string]int
 	errors   int
 	elapsed  float64
+	slow     []exemplar
 }
 
 func main() {
@@ -154,6 +172,7 @@ func main() {
 	cacheEntries := flag.Int("cache", 8, "per-replica calibration cache capacity (cluster mode)")
 	samples := flag.Int("samples", 1, "replica microbenchmark samples (cluster mode)")
 	out := flag.String("out", "", "report path (default BENCH_serve.json / BENCH_cluster.json; - for stdout only)")
+	exemplars := flag.Int("exemplars", 5, "trace-ID exemplars of the slowest requests kept per window (0 disables)")
 	flag.Parse()
 
 	if *clusterN > 0 {
@@ -173,7 +192,7 @@ func main() {
 		}
 		runClusterBench(*clusterN, *cacheEntries, *samples, k,
 			bodiesFor(*geometry, *scale, *system, *ranks, k),
-			*workers, *duration, *rate, path)
+			*workers, *duration, *rate, *exemplars, path)
 		return
 	}
 
@@ -186,11 +205,11 @@ func main() {
 		path = "BENCH_serve.json"
 	}
 	runServeBench(*baseURL, bodiesFor(*geometry, *scale, *system, *ranks, k),
-		*workers, *duration, *rate, path)
+		*workers, *duration, *rate, *exemplars, path)
 }
 
 // runServeBench is the single-server benchmark (BENCH_serve.json).
-func runServeBench(baseURL string, bodies [][]byte, workers int, duration time.Duration, rate float64, out string) {
+func runServeBench(baseURL string, bodies [][]byte, workers int, duration time.Duration, rate float64, exemplars int, out string) {
 	target := baseURL
 	if target == "" {
 		srv, err := serve.New(serve.Config{MaxInflight: 4 * workers})
@@ -201,12 +220,13 @@ func runServeBench(baseURL string, bodies [][]byte, workers int, duration time.D
 	}
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4 * workers}}
 	spec := runSpec{
-		client:   client,
-		url:      target + "/v1/predict",
-		bodies:   bodies,
-		workers:  workers,
-		duration: duration,
-		rate:     rate,
+		client:    client,
+		url:       target + "/v1/predict",
+		bodies:    bodies,
+		workers:   workers,
+		duration:  duration,
+		rate:      rate,
+		exemplars: exemplars,
 	}
 
 	// Warmup: pay the calibration misses outside the measured window.
@@ -215,18 +235,19 @@ func runServeBench(baseURL string, bodies [][]byte, workers int, duration time.D
 
 	w := summarize(res)
 	report := benchReport{
-		Endpoint:   "/v1/predict",
-		Workers:    workers,
-		OfferedRPS: rate,
-		DurationS:  w.DurationS,
-		Requests:   w.Requests,
-		Throughput: w.Throughput,
-		P50MS:      w.P50MS,
-		P95MS:      w.P95MS,
-		P99MS:      w.P99MS,
-		MeanMS:     w.MeanMS,
-		Status:     w.Status,
-		Errors:     w.Errors,
+		Endpoint:      "/v1/predict",
+		Workers:       workers,
+		OfferedRPS:    rate,
+		DurationS:     w.DurationS,
+		Requests:      w.Requests,
+		Throughput:    w.Throughput,
+		P50MS:         w.P50MS,
+		P95MS:         w.P95MS,
+		P99MS:         w.P99MS,
+		MeanMS:        w.MeanMS,
+		Status:        w.Status,
+		Errors:        w.Errors,
+		SlowestTraces: w.SlowestTraces,
 	}
 	if len(bodies) > 1 {
 		report.Keys = len(bodies)
@@ -238,7 +259,7 @@ func runServeBench(baseURL string, bodies [][]byte, workers int, duration time.D
 // runClusterBench benchmarks N sharded replicas behind the router
 // against a single-replica baseline on the same keyset, and writes the
 // BENCH_cluster.json artifact.
-func runClusterBench(n, cacheEntries, samples, keys int, bodies [][]byte, workers int, duration time.Duration, rate float64, out string) {
+func runClusterBench(n, cacheEntries, samples, keys int, bodies [][]byte, workers int, duration time.Duration, rate float64, exemplars int, out string) {
 	const calibSeed = 1
 	newReplica := func() *serve.Server {
 		srv, err := serve.New(serve.Config{
@@ -260,12 +281,13 @@ func runClusterBench(n, cacheEntries, samples, keys int, bodies [][]byte, worker
 	defer bts.Close()
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4 * workers}}
 	baseSpec := runSpec{
-		client:   client,
-		url:      bts.URL + "/v1/predict",
-		bodies:   bodies,
-		workers:  workers,
-		duration: duration,
-		rate:     rate,
+		client:    client,
+		url:       bts.URL + "/v1/predict",
+		bodies:    bodies,
+		workers:   workers,
+		duration:  duration,
+		rate:      rate,
+		exemplars: exemplars,
 	}
 	fatal(warmKeys(baseSpec))
 	baseWin := summarize(runWindow(baseSpec))
@@ -298,12 +320,13 @@ func runClusterBench(n, cacheEntries, samples, keys int, bodies [][]byte, worker
 	ts := httptest.NewServer(c.Router().Handler())
 	defer ts.Close()
 	clusterSpec := runSpec{
-		client:   client,
-		url:      ts.URL + "/v1/predict",
-		bodies:   bodies,
-		workers:  workers,
-		duration: duration,
-		rate:     rate,
+		client:    client,
+		url:       ts.URL + "/v1/predict",
+		bodies:    bodies,
+		workers:   workers,
+		duration:  duration,
+		rate:      rate,
+		exemplars: exemplars,
 	}
 	fatal(warmKeys(clusterSpec))
 	res := runWindow(clusterSpec)
@@ -374,7 +397,7 @@ func bodiesFor(geometry string, scale float64, system string, ranks, keys int) [
 // starts with whatever warmth the target's cache can actually hold.
 func warmKeys(spec runSpec) error {
 	for i := range spec.bodies {
-		code, _, err := post(spec, i)
+		code, _, _, err := post(spec, i)
 		if err != nil {
 			return fmt.Errorf("warmup key %d: %w", i, err)
 		}
@@ -408,21 +431,25 @@ func runClosedLoop(spec runSpec) runResult {
 			st.replicas = make(map[string]int)
 			for i := w; time.Now().Before(deadline); i++ {
 				t0 := time.Now()
-				code, replica, err := post(spec, i)
+				code, replica, traceID, err := post(spec, i)
 				if err != nil {
 					st.errors++
 					continue
 				}
-				st.lats = append(st.lats, time.Since(t0).Seconds())
+				lat := time.Since(t0).Seconds()
+				st.lats = append(st.lats, lat)
 				st.status[code]++
 				if replica != "" {
 					st.replicas[replica]++
 				}
+				st.slow = addExemplar(st.slow,
+					exemplar{TraceID: traceID, LatencyMS: lat * 1e3, Status: code, Replica: replica},
+					spec.exemplars)
 			}
 		}(w, &stats[w])
 	}
 	wg.Wait()
-	return merge(stats, time.Since(start))
+	return merge(stats, time.Since(start), spec.exemplars)
 }
 
 // runOpenLoop schedules arrivals at the offered rate on a fixed
@@ -450,7 +477,7 @@ func runOpenLoop(spec runSpec) runResult {
 		wg.Add(1)
 		go func(i int, sched time.Time) {
 			defer wg.Done()
-			code, replica, err := post(spec, i)
+			code, replica, traceID, err := post(spec, i)
 			lat := time.Since(sched).Seconds()
 			mu.Lock()
 			defer mu.Unlock()
@@ -463,28 +490,51 @@ func runOpenLoop(spec runSpec) runResult {
 			if replica != "" {
 				agg.replicas[replica]++
 			}
+			agg.slow = addExemplar(agg.slow,
+				exemplar{TraceID: traceID, LatencyMS: lat * 1e3, Status: code, Replica: replica},
+				spec.exemplars)
 		}(i, sched)
 	}
 	wg.Wait()
-	return merge([]workerStats{agg}, time.Since(start))
+	return merge([]workerStats{agg}, time.Since(start), spec.exemplars)
 }
 
 // post issues request i (cycling the key set) and reports the status
-// code plus the routing replica (X-Replica, set by the cluster router).
-func post(spec runSpec, i int) (code int, replica string, err error) {
+// code, the routing replica (X-Replica, set by the cluster router),
+// and the distributed trace ID (X-Trace-Id, set by whichever tier
+// rooted the trace).
+func post(spec runSpec, i int) (code int, replica, traceID string, err error) {
 	body := spec.bodies[i%len(spec.bodies)]
 	resp, err := spec.client.Post(spec.url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, "", err
+		return 0, "", "", err
 	}
 	if err := drainBody(resp); err != nil {
-		return 0, "", err
+		return 0, "", "", err
 	}
-	return resp.StatusCode, resp.Header.Get("X-Replica"), nil
+	return resp.StatusCode, resp.Header.Get("X-Replica"), resp.Header.Get("X-Trace-Id"), nil
 }
 
-// merge folds per-worker stats into one result.
-func merge(stats []workerStats, elapsed time.Duration) runResult {
+// addExemplar keeps list as the n slowest observations, descending by
+// latency. n is small (default 5), so the insertion sort is fine.
+func addExemplar(list []exemplar, e exemplar, n int) []exemplar {
+	if n <= 0 || e.TraceID == "" {
+		return list
+	}
+	if len(list) == n && e.LatencyMS <= list[n-1].LatencyMS {
+		return list
+	}
+	list = append(list, e)
+	sort.SliceStable(list, func(i, j int) bool { return list[i].LatencyMS > list[j].LatencyMS })
+	if len(list) > n {
+		list = list[:n]
+	}
+	return list
+}
+
+// merge folds per-worker stats into one result, keeping the nSlow
+// slowest exemplars across all workers.
+func merge(stats []workerStats, elapsed time.Duration, nSlow int) runResult {
 	res := runResult{
 		status:   make(map[string]int),
 		replicas: make(map[string]int),
@@ -499,6 +549,9 @@ func merge(stats []workerStats, elapsed time.Duration) runResult {
 			res.replicas[name] += n
 		}
 		res.errors += stats[i].errors
+		for _, e := range stats[i].slow {
+			res.slow = addExemplar(res.slow, e, nSlow)
+		}
 	}
 	sort.Float64s(res.lats)
 	return res
@@ -514,15 +567,16 @@ func summarize(res runResult) windowStats {
 		mean /= float64(len(res.lats))
 	}
 	return windowStats{
-		DurationS:  res.elapsed,
-		Requests:   len(res.lats),
-		Throughput: float64(len(res.lats)) / res.elapsed,
-		P50MS:      quantile(res.lats, 0.50) * 1e3,
-		P95MS:      quantile(res.lats, 0.95) * 1e3,
-		P99MS:      quantile(res.lats, 0.99) * 1e3,
-		MeanMS:     mean * 1e3,
-		Status:     res.status,
-		Errors:     res.errors,
+		DurationS:     res.elapsed,
+		Requests:      len(res.lats),
+		Throughput:    float64(len(res.lats)) / res.elapsed,
+		P50MS:         quantile(res.lats, 0.50) * 1e3,
+		P95MS:         quantile(res.lats, 0.95) * 1e3,
+		P99MS:         quantile(res.lats, 0.99) * 1e3,
+		MeanMS:        mean * 1e3,
+		Status:        res.status,
+		Errors:        res.errors,
+		SlowestTraces: res.slow,
 	}
 }
 

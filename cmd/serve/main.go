@@ -15,6 +15,11 @@
 // requests finish, async campaigns drain (interrupted at their next clean
 // point past -drain), and the process exits non-zero.
 //
+// -debug-addr exposes net/http/pprof on a separate listener (never on
+// the API mux); -trace exports the request span log as JSONL at
+// shutdown, with -trace-seed giving each replica distinct span IDs so
+// multi-process exports merge cleanly (cmd/trace -merge).
+//
 // Usage:
 //
 //	serve -addr :8080
@@ -33,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -47,12 +53,19 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline ceiling")
 	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before campaigns are interrupted")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (off when empty; never on -addr)")
+	traceFile := flag.String("trace", "", "write the request span log as JSONL here at shutdown")
+	traceSeed := flag.Int64("trace-seed", 0, "span-ID seed (default -seed; give each replica its own for merged traces)")
 	flag.Parse()
 
 	systems := machine.Catalog()
 	if *gpu {
 		systems = machine.FullCatalog()
 	}
+	if *traceSeed == 0 {
+		*traceSeed = *seed
+	}
+	tracer := obs.NewTracer(*traceSeed)
 	srv, err := serve.New(serve.Config{
 		Systems:        systems,
 		Samples:        *samples,
@@ -62,8 +75,10 @@ func main() {
 		MaxCampaigns:   *maxCampaigns,
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
+		Tracer:         tracer,
 	})
 	fatal(err)
+	startDebugServer(*debugAddr)
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -99,10 +114,48 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 	}
+	writeTrace(*traceFile, tracer)
 	// Clean shutdown on a signal still exits non-zero: the service was
 	// asked to die, it did not finish its job.
 	fmt.Fprintln(os.Stderr, "serve: shutdown complete")
 	os.Exit(1)
+}
+
+// startDebugServer exposes the pprof mux on its own listener; the main
+// API mux never carries the debug endpoints.
+func startDebugServer(addr string) {
+	if addr == "" {
+		return
+	}
+	hs := &http.Server{Addr: addr, Handler: serve.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+	//lint:ignore gorleak the debug listener deliberately lives until process exit; profiling must stay reachable through shutdown
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "serve: debug listener:", err)
+		}
+	}()
+	fmt.Printf("serve: pprof on %s (debug only; not on the API mux)\n", addr)
+}
+
+// writeTrace exports the tracer's span log as JSONL for cmd/trace.
+func writeTrace(path string, tracer *obs.Tracer) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve: trace export:", err)
+		return
+	}
+	err = obs.WriteJSONL(f, tracer.Spans())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve: trace export:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "serve: trace written to %s\n", path)
 }
 
 func fatal(err error) {

@@ -7,7 +7,14 @@
 //	trace -format=text trace.json            # self-time summary
 //	trace -format=chrome spans.jsonl         # JSONL -> Perfetto-loadable
 //	trace -format=jsonl trace.json           # Chrome -> line-oriented
+//	trace -format=tree spans.jsonl           # parent/child span tree
 //	trace -span=attempt -min-dur=10 t.json   # filter by name and duration
+//	trace -merge router.jsonl rep0.jsonl rep1.jsonl  # stitch exports
+//
+// -merge accepts any number of trace files and concatenates their
+// spans before rendering; with -format=tree the cross-process spans
+// stitch into one tree per trace ID, linked by the propagated
+// traceparent context.
 package main
 
 import (
@@ -20,20 +27,27 @@ import (
 )
 
 func main() {
-	format := flag.String("format", "text", "output format: chrome, text, or jsonl")
+	format := flag.String("format", "text", "output format: chrome, text, jsonl, or tree")
 	spanFilter := flag.String("span", "", "keep only spans whose name contains this substring")
 	minDurS := flag.Float64("min-dur", 0, "keep only spans with at least this simulated duration in seconds")
+	merge := flag.Bool("merge", false, "accept multiple trace files and merge their spans")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "trace: exactly one trace file required (Chrome JSON or JSONL)")
+	if *merge {
+		if flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "trace: -merge requires at least one trace file")
+			os.Exit(2)
+		}
+	} else if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "trace: exactly one trace file required (Chrome JSON or JSONL); use -merge for several")
 		os.Exit(2)
 	}
-	f, err := os.Open(flag.Arg(0))
-	fatal(err)
-	defer f.Close()
-	spans, err := obs.ReadSpans(f)
-	fatal(err)
+	var spans []obs.SpanRecord
+	for _, path := range flag.Args() {
+		part, err := readSpans(path)
+		fatal(err)
+		spans = append(spans, part...)
+	}
 
 	if *spanFilter != "" || *minDurS > 0 {
 		kept := spans[:0]
@@ -56,10 +70,21 @@ func main() {
 		fatal(obs.WriteJSONL(os.Stdout, spans))
 	case "text":
 		fmt.Print(obs.RenderSummary(spans, nil))
+	case "tree":
+		fmt.Print(obs.RenderSpanTree(spans))
 	default:
-		fmt.Fprintf(os.Stderr, "trace: unknown format %q (want chrome, text, or jsonl)\n", *format)
+		fmt.Fprintf(os.Stderr, "trace: unknown format %q (want chrome, text, jsonl, or tree)\n", *format)
 		os.Exit(2)
 	}
+}
+
+func readSpans(path string) ([]obs.SpanRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.ReadSpans(f)
 }
 
 func fatal(err error) {

@@ -22,6 +22,13 @@ type FleetConfig struct {
 	BackoffMaxS           float64                `json:"backoff_max_s,omitempty"`
 	BackoffJitter         float64                `json:"backoff_jitter,omitempty"`
 	PreemptionPerNodeHour float64                `json:"preemption_per_node_hour,omitempty"`
+
+	// SLOs are the objectives evaluated over the finished run's fleet
+	// metrics (completions+sheds as the request stream, queue wait as
+	// the latency histogram). nil takes the stock fleet objectives; an
+	// empty non-nil slice disables SLO evaluation. A declared objective
+	// with WindowS <= 0 covers the whole run.
+	SLOs []obs.SLO `json:"slos,omitempty"`
 }
 
 // fleetConfig assembles the scheduler config from the campaign's budget,
@@ -51,6 +58,12 @@ type FleetSummary struct {
 	// the scheduler's counters, histograms, and per-job gauges.
 	Trace   *obs.Tracer
 	Metrics *obs.Registry
+
+	// SLOs and Alerts are the post-run evaluation of the campaign's
+	// objectives over the fleet metrics (nil when disabled). Alerts is
+	// the deterministic transition log: same seed, same alerts.
+	SLOs   []obs.SLOStatus
+	Alerts []obs.SLOAlert
 }
 
 // Render formats the full fleet report: event log, per-instance
@@ -67,10 +80,68 @@ func (s FleetSummary) Render() string {
 		b.WriteString("\n")
 		b.WriteString(dashboard.TracePanel(s.Trace.Spans(), s.Metrics.Snapshot()))
 	}
+	if s.SLOs != nil {
+		b.WriteString("\n")
+		b.WriteString(dashboard.SLOPanel(s.SLOs, s.Alerts))
+	}
 	for _, w := range s.Warnings {
 		fmt.Fprintf(&b, "warning: %s\n", w)
 	}
 	return b.String()
+}
+
+// fleetSLOs resolves the effective objectives for a run that ended at
+// makespanS: nil declarations take the stock fleet objectives, and any
+// objective without a window covers the whole run. The input slice is
+// never mutated.
+func fleetSLOs(declared []obs.SLO, makespanS float64) []obs.SLO {
+	slos := declared
+	if slos == nil {
+		// Stock fleet objectives: at most 5% of jobs shed, and 90% of
+		// placements waiting under 1024 s (a fleet_queue_wait_s bucket
+		// bound, so the check is exact, not interpolated).
+		slos = []obs.SLO{
+			{Name: "fleet-completion", TargetAvailability: 0.95},
+			{Name: "queue-wait-p90", LatencyQuantile: 0.90, LatencyBoundS: 1024},
+		}
+	}
+	out := append([]obs.SLO(nil), slos...)
+	for i := range out {
+		if out[i].WindowS <= 0 {
+			out[i].WindowS = makespanS + 1
+		}
+	}
+	return out
+}
+
+// fleetSLOObs assembles the run's single cumulative observation from
+// the scheduler's metrics: completions+sheds as the request total,
+// sheds as the errors, and the queue-wait histogram (merged across
+// label sets) as the latency distribution.
+func fleetSLOObs(atS float64, metrics []obs.Metric) obs.SLOObs {
+	o := obs.SLOObs{AtS: atS}
+	for _, m := range metrics {
+		switch {
+		case m.Type == "counter" && (m.Name == "fleet_completions_total" || m.Name == "fleet_sheds_total"):
+			o.Total += m.Value
+			if m.Name == "fleet_sheds_total" {
+				o.Errors += m.Value
+			}
+		case m.Type == "histogram" && m.Name == "fleet_queue_wait_s":
+			if o.LatBounds == nil {
+				o.LatBounds = append([]float64(nil), m.BucketLE...)
+				o.LatCounts = make([]uint64, len(m.Counts))
+			}
+			if len(m.Counts) != len(o.LatCounts) {
+				continue
+			}
+			for i, c := range m.Counts {
+				o.LatCounts[i] += c
+			}
+			o.LatCount += m.Count
+		}
+	}
+	return o
 }
 
 // RunFleet executes the campaign on the fleet backend: every job is
@@ -200,6 +271,19 @@ func runFleet(ctx context.Context, fw *core.Framework, cfg Config) (FleetSummary
 	}
 	summary.Report = report
 	endS = report.MakespanS
+
+	// Judge the run against its objectives on the fleet's own metrics:
+	// completions plus sheds form the request stream (a shed is the
+	// fleet's 5xx), queue wait is the latency histogram, and the single
+	// observation lands at the final makespan so whole-run windows see
+	// everything. One observation can still fire alerts — the tracker
+	// differences against the zero origin.
+	if slos := fleetSLOs(cfg.Fleet.SLOs, report.MakespanS); len(slos) > 0 {
+		tracker := obs.NewSLOTracker(slos)
+		tracker.Observe(fleetSLOObs(report.MakespanS, summary.Metrics.Snapshot()))
+		summary.SLOs = tracker.Status()
+		summary.Alerts = tracker.Alerts()
+	}
 
 	// Close the loop through the metrics pipeline: the scheduler
 	// published per-job gauges on completion; the monitor bridge

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 const fleetConfigJSON = `{
@@ -77,6 +78,70 @@ func TestRunFleetEndToEnd(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("summary missing %q", want)
 		}
+	}
+	// The stock objectives evaluate over the run and land in the report.
+	if len(sum.SLOs) != 2 {
+		t.Fatalf("want 2 stock SLO statuses, got %+v", sum.SLOs)
+	}
+	if got := sum.SLOs[0].WindowTotal; got != 4 {
+		t.Errorf("completion SLO saw %v requests, want 4", got)
+	}
+	for _, want := range []string{"=== slo ===", "fleet-completion", "queue-wait-p90"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+	// A clean run (zero sheds) must not fire anything.
+	if len(sum.Alerts) != 0 {
+		t.Errorf("clean run produced alerts: %+v", sum.Alerts)
+	}
+}
+
+// TestRunFleetSLODisabled: an empty non-nil declaration opts out of SLO
+// evaluation and of the panel.
+func TestRunFleetSLODisabled(t *testing.T) {
+	cfg, err := Load(strings.NewReader(fleetConfigJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Fleet.SLOs = []obs.SLO{}
+	fw, err := core.NewFramework(machine.Catalog(), 2, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := RunFleet(fw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.SLOs != nil || strings.Contains(sum.Render(), "=== slo ===") {
+		t.Fatalf("SLO evaluation ran despite empty declaration: %+v", sum.SLOs)
+	}
+}
+
+// TestRunFleetSLOAlertFires: an unreachable declared objective must trip
+// exactly one firing alert and render it in the report's SLO panel.
+func TestRunFleetSLOAlertFires(t *testing.T) {
+	cfg, err := Load(strings.NewReader(fleetConfigJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every queue wait is > 0s at some point in a contended 4-job run on
+	// 3 instances, so demanding p99 <= 1s is deterministic failure bait.
+	cfg.Fleet.SLOs = []obs.SLO{{Name: "impossible-wait", LatencyQuantile: 0.99, LatencyBoundS: 1}}
+	fw, err := core.NewFramework(machine.Catalog(), 2, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := RunFleet(fw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Alerts) != 1 || sum.Alerts[0].State != "firing" || sum.Alerts[0].SLO != "impossible-wait" {
+		t.Fatalf("want exactly one firing alert, got %+v", sum.Alerts)
+	}
+	text := sum.Render()
+	if !strings.Contains(text, "slo impossible-wait firing") || !strings.Contains(text, "FIRING") {
+		t.Fatalf("firing alert missing from report:\n%s", text)
 	}
 }
 

@@ -45,3 +45,34 @@ type RouterHealthResponse struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 }
+
+// TelemetrySourceStatus is one scrape target's row in the aggregated
+// telemetry report: whether its snapshot merged, and why not if not.
+type TelemetrySourceStatus struct {
+	Name    string  `json:"name"`
+	OK      bool    `json:"ok"`
+	Error   string  `json:"error,omitempty"`
+	UptimeS float64 `json:"uptime_s,omitempty"`
+}
+
+// REDSummary is the fleet-wide Rate/Errors/Duration view derived from
+// the merged serve metrics: request and error throughput over the last
+// scrape interval, and latency quantiles from the merged histogram
+// buckets (computed at read time from raw buckets, never merged as
+// quantiles).
+type REDSummary struct {
+	// Requests and Errors are cumulative fleet totals.
+	Requests float64 `json:"requests"`
+	Errors   float64 `json:"errors"`
+
+	// IntervalS is the window the rates cover (time since the
+	// previous scrape, or since startup for the first one).
+	IntervalS     float64 `json:"interval_s"`
+	RatePerS      float64 `json:"rate_per_s"`
+	ErrorRatePerS float64 `json:"error_rate_per_s"`
+
+	// Latency quantiles of the merged fleet histogram, in seconds.
+	P50S float64 `json:"p50_s"`
+	P90S float64 `json:"p90_s"`
+	P99S float64 `json:"p99_s"`
+}

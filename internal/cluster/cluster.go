@@ -55,6 +55,19 @@ type Config struct {
 	// HealthTimeout bounds one health probe (default 2s).
 	HealthTimeout time.Duration
 
+	// TelemetryInterval is the background telemetry-scrape period; 0
+	// disables the loop (ScrapeTelemetryNow and on-demand scrapes via
+	// GET /v1/cluster/telemetry still work — the deterministic path).
+	TelemetryInterval time.Duration
+
+	// TelemetryTimeout bounds one replica telemetry scrape (default 2s).
+	TelemetryTimeout time.Duration
+
+	// SLOs are the objectives evaluated over the aggregated telemetry
+	// stream. nil takes obs.DefaultSLOs(); an empty non-nil slice
+	// disables SLO tracking.
+	SLOs []obs.SLO
+
 	// Registry and Tracer are the observability sinks; nil values get
 	// private instances (the tracer seeded from Seed).
 	Registry *obs.Registry
@@ -65,12 +78,13 @@ type Config struct {
 // replica fleet. It holds no planning state: replicas can join a
 // freshly restarted router and every key routes identically.
 type Cluster struct {
-	cfg    Config
-	ring   *Ring
-	set    *replicaSet
-	health *healthChecker
-	router *Router
-	reg    *obs.Registry
+	cfg       Config
+	ring      *Ring
+	set       *replicaSet
+	health    *healthChecker
+	telemetry *telemetryAggregator
+	router    *Router
+	reg       *obs.Registry
 
 	// baseCtx bounds every health probe the cluster issues; Close
 	// cancels it so no probe outlives the cluster.
@@ -110,6 +124,11 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	health := newHealthChecker(set, cfg.HealthFailures, cfg.HealthTimeout)
+	slos := cfg.SLOs
+	if slos == nil {
+		slos = obs.DefaultSLOs()
+	}
+	telemetry := newTelemetryAggregator(set, reg, cfg.TelemetryTimeout, slos)
 	// The fresh root is legitimate here: New is the top of the cluster's
 	// lifecycle — no caller context exists to derive from.
 	baseCtx, baseCancel := context.WithCancel(context.Background())
@@ -118,12 +137,14 @@ func New(cfg Config) (*Cluster, error) {
 		ring:       ring,
 		set:        set,
 		health:     health,
-		router:     newRouter(cfg, ring, set, health, reg, tracer),
+		telemetry:  telemetry,
+		router:     newRouter(cfg, ring, set, health, telemetry, reg, tracer),
 		reg:        reg,
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
 	}
 	health.start(baseCtx, cfg.HealthInterval)
+	telemetry.start(baseCtx, cfg.TelemetryInterval)
 	return c, nil
 }
 
@@ -138,6 +159,14 @@ func (c *Cluster) Ring() *Ring { return c.ring }
 // is a no-op: the base context is cancelled, so the sweep returns
 // without recording bogus probe failures.
 func (c *Cluster) CheckHealthNow() { c.health.checkAll(c.baseCtx) }
+
+// ScrapeTelemetryNow runs one synchronous telemetry aggregation sweep
+// and returns the merged fleet view — the deterministic alternative to
+// the background scrape loop. After Close it returns the last
+// published aggregate without issuing network calls.
+func (c *Cluster) ScrapeTelemetryNow() *ClusterTelemetryResponse {
+	return c.telemetry.scrape(c.baseCtx)
+}
 
 // Drain marks a replica draining (or healthy again), rebalancing its
 // ring arcs; unknown names report false.
@@ -157,5 +186,6 @@ func (c *Cluster) Close() error {
 	// until its timeout.
 	c.baseCancel()
 	c.health.stop()
+	c.telemetry.stop()
 	return nil
 }

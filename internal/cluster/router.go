@@ -23,12 +23,13 @@ import (
 // the key's ring successor, the same replica the ring converges to once
 // health marks the owner dead.
 type Router struct {
-	cfg    Config
-	ring   *Ring
-	set    *replicaSet
-	admit  *admission
-	jitter *retryJitter
-	health *healthChecker
+	cfg       Config
+	ring      *Ring
+	set       *replicaSet
+	admit     *admission
+	jitter    *retryJitter
+	health    *healthChecker
+	telemetry *telemetryAggregator
 
 	reg       *obs.Registry
 	tracer    *obs.Tracer
@@ -36,7 +37,7 @@ type Router struct {
 	mux       *http.ServeMux
 }
 
-func newRouter(cfg Config, ring *Ring, set *replicaSet, health *healthChecker, reg *obs.Registry, tracer *obs.Tracer) *Router {
+func newRouter(cfg Config, ring *Ring, set *replicaSet, health *healthChecker, telemetry *telemetryAggregator, reg *obs.Registry, tracer *obs.Tracer) *Router {
 	rt := &Router{
 		cfg:       cfg,
 		ring:      ring,
@@ -44,6 +45,7 @@ func newRouter(cfg Config, ring *Ring, set *replicaSet, health *healthChecker, r
 		admit:     newAdmission(cfg.TenantRate, cfg.TenantBurst, cfg.MaxInflight, reg),
 		jitter:    newRetryJitter(cfg.Seed, cfg.RetryAfterSpreadS),
 		health:    health,
+		telemetry: telemetry,
 		reg:       reg,
 		tracer:    tracer,
 		startWall: time.Now(),
@@ -52,6 +54,7 @@ func newRouter(cfg Config, ring *Ring, set *replicaSet, health *healthChecker, r
 	rt.mux.HandleFunc("GET /v1/healthz", rt.instrument("/v1/healthz", rt.handleHealthz))
 	rt.mux.HandleFunc("GET /v1/metrics", rt.instrument("/v1/metrics", rt.handleMetrics))
 	rt.mux.HandleFunc("GET /v1/cluster", rt.instrument("/v1/cluster", rt.handleTopology))
+	rt.mux.HandleFunc("GET /v1/cluster/telemetry", rt.instrument("/v1/cluster/telemetry", rt.handleTelemetry))
 	rt.mux.HandleFunc("POST /v1/cluster/drain", rt.instrument("/v1/cluster/drain", rt.handleDrain))
 	rt.mux.HandleFunc("POST /v1/predict", rt.instrument("/v1/predict", rt.planning("/v1/predict")))
 	rt.mux.HandleFunc("POST /v1/plan", rt.instrument("/v1/plan", rt.planning("/v1/plan")))
@@ -73,7 +76,11 @@ func (rt *Router) instrument(endpoint string, h http.HandlerFunc) http.HandlerFu
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
-		sp := rt.tracer.Start("router "+endpoint, rt.simNow())
+		sp := rt.startSpan(r, "router "+endpoint)
+		if tid := sp.TraceID(); !tid.IsZero() {
+			sw.Header().Set("X-Trace-Id", tid.String())
+		}
+		r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
 		defer func() {
 			code := sw.code
 			if code == 0 {
@@ -91,6 +98,19 @@ func (rt *Router) instrument(endpoint string, h http.HandlerFunc) http.HandlerFu
 }
 
 var routerLatencyBuckets = obs.ExpBuckets(50e-6, 2, 25)
+
+// startSpan opens the request's router span, honoring an incoming
+// traceparent header (a client or upstream proxy propagating context)
+// and falling back to a fresh root otherwise — malformed headers
+// included, so junk from the network can't break a request.
+func (rt *Router) startSpan(r *http.Request, name string) *obs.Span {
+	if v := r.Header.Get(obs.TraceParentHeader); v != "" {
+		if tp, err := obs.ParseTraceParent(v); err == nil {
+			return rt.tracer.StartRemote(tp, name, rt.simNow())
+		}
+	}
+	return rt.tracer.Start(name, rt.simNow())
+}
 
 // statusWriter records the response code for metrics and span attrs.
 type statusWriter struct {
@@ -243,7 +263,11 @@ func (rt *Router) forwardOnce(r *http.Request, name, path, rawQuery string, body
 	if !ok {
 		return nil, fmt.Errorf("replica %q not configured", name)
 	}
-	sp := rt.tracer.Start("forward "+name, rt.simNow())
+	// The forward span hangs under the request's router span (stashed
+	// in the context by instrument), so the replica's handler span —
+	// parented on this one via the injected traceparent — completes the
+	// router → forward → handler chain in the stitched trace.
+	sp := rt.tracer.StartChild(obs.SpanFromContext(r.Context()), "forward "+name, rt.simNow())
 	sp.SetAttr("replica", name)
 	sp.SetAttr("path", path)
 	defer sp.End(rt.simNow())
@@ -261,6 +285,9 @@ func (rt *Router) forwardOnce(r *http.Request, name, path, rawQuery string, body
 		return nil, err
 	}
 	copyForwardHeaders(req.Header, r.Header)
+	if tp := sp.TraceParent(); tp.Valid() {
+		req.Header.Set(obs.TraceParentHeader, tp.String())
+	}
 	resp, err := rep.Transport.RoundTrip(req)
 	code := "error"
 	if err == nil {
@@ -285,6 +312,11 @@ func copyForwardHeaders(dst, src http.Header) {
 // serving replica's name so clients and benchmarks can attribute work.
 func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, replica string) {
 	for k, vs := range resp.Header {
+		if k == "X-Trace-Id" {
+			// The router already stamped the trace ID (the same one the
+			// replica echoes — context propagated); Add would duplicate.
+			continue
+		}
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}
@@ -419,6 +451,30 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if err := obs.WriteMetricsText(w, snap); err != nil {
 		return // mid-stream failure; status line already written
 	}
+}
+
+// handleTelemetry serves the fleet-wide aggregated telemetry view.
+// With no background scrape loop running (or ?refresh=1) it scrapes
+// on demand, so the endpoint always answers with live data; otherwise
+// it returns the loop's last published aggregate. ?format=prom
+// renders the merged metrics as a Prometheus text exposition page.
+func (rt *Router) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	snap := rt.telemetry.Last()
+	if snap == nil || r.URL.Query().Get("refresh") == "1" {
+		snap = rt.telemetry.scrape(r.Context())
+	}
+	if snap == nil {
+		rt.writeError(w, http.StatusServiceUnavailable, "telemetry aggregation unavailable")
+		return
+	}
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := obs.WriteMetricsText(w, snap.Metrics); err != nil {
+			return // mid-stream failure; status line already written
+		}
+		return
+	}
+	rt.writeJSON(w, http.StatusOK, snap)
 }
 
 // handleTopology reports membership plus each member's share of a

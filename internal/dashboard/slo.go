@@ -1,0 +1,47 @@
+package dashboard
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// SLOPanel renders the service-level-objective view: one row per
+// objective with its window state and burn rate, followed by the alert
+// transition log. Deterministic inputs render deterministically — the
+// panel carries no timestamps of its own, only the observation clock
+// embedded in the statuses and alerts.
+func SLOPanel(statuses []obs.SLOStatus, alerts []obs.SLOAlert) string {
+	var b strings.Builder
+	b.WriteString("=== slo ===\n")
+	if len(statuses) == 0 {
+		b.WriteString("no objectives tracked\n")
+		return b.String()
+	}
+	for _, st := range statuses {
+		state := "ok"
+		if st.Firing {
+			state = "FIRING"
+		}
+		fmt.Fprintf(&b, "%-16s %s  objective %s  window %.0fs  total %.0f  bad %.0f (%.4f)  burn %.2f\n",
+			st.SLO.Name, state, objective(st.SLO), st.SLO.WindowS,
+			st.WindowTotal, st.WindowBad, st.BadFraction, st.BurnRate)
+	}
+	if len(alerts) > 0 {
+		b.WriteString("--- alerts ---\n")
+		for _, a := range alerts {
+			b.WriteString(a.String())
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// objective formats an SLO's target as a compact human-readable clause.
+func objective(s obs.SLO) string {
+	if s.IsLatency() {
+		return fmt.Sprintf("p%g<=%.3fs", s.LatencyQuantile*100, s.LatencyBoundS)
+	}
+	return fmt.Sprintf("avail>=%.4f", s.TargetAvailability)
+}

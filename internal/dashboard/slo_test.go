@@ -1,0 +1,64 @@
+package dashboard
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// A deterministic latency injection must trip the p99 burn-rate alert
+// exactly once and render in the SLO panel: the acceptance path from
+// tracker to dashboard.
+func TestSLOPanelRendersFiringAlert(t *testing.T) {
+	slo := obs.SLO{Name: "latency-p99", LatencyQuantile: 0.99, LatencyBoundS: 0.25, WindowS: 300}
+	tr := obs.NewSLOTracker([]obs.SLO{slo})
+
+	bounds := []float64{0.1, 0.25, 1}
+	// 5 of 100 requests blow the 250 ms bound: bad fraction 0.05 against
+	// a 0.01 budget, burn 5.0.
+	tr.Observe(obs.SLOObs{
+		AtS:       10,
+		Total:     100,
+		LatBounds: bounds,
+		LatCounts: []uint64{80, 15, 5, 0},
+		LatCount:  100,
+	})
+
+	alerts := tr.Alerts()
+	if len(alerts) != 1 || alerts[0].State != "firing" {
+		t.Fatalf("want exactly one firing alert, got %+v", alerts)
+	}
+
+	panel := SLOPanel(tr.Status(), alerts)
+	if !strings.HasPrefix(panel, "=== slo ===\n") {
+		t.Fatalf("missing panel header:\n%s", panel)
+	}
+	for _, want := range []string{"latency-p99", "FIRING", "p99<=0.250s", "burn 5.00", "slo latency-p99 firing at 10.000s"} {
+		if !strings.Contains(panel, want) {
+			t.Errorf("panel missing %q:\n%s", want, panel)
+		}
+	}
+
+	// Repeated status reads must not mint new alerts.
+	if got := len(tr.Alerts()); got != 1 {
+		t.Fatalf("alert count changed on read: %d", got)
+	}
+}
+
+func TestSLOPanelHealthyAndEmpty(t *testing.T) {
+	if got := SLOPanel(nil, nil); !strings.Contains(got, "no objectives tracked") {
+		t.Fatalf("empty panel: %q", got)
+	}
+	st := obs.SLOStatus{
+		SLO:         obs.SLO{Name: "availability", TargetAvailability: 0.999, WindowS: 300},
+		WindowTotal: 50,
+	}
+	panel := SLOPanel([]obs.SLOStatus{st}, nil)
+	if !strings.Contains(panel, "availability") || !strings.Contains(panel, "ok") {
+		t.Fatalf("healthy row missing:\n%s", panel)
+	}
+	if strings.Contains(panel, "--- alerts ---") {
+		t.Fatalf("alert section rendered with no alerts:\n%s", panel)
+	}
+}

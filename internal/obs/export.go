@@ -65,6 +65,9 @@ func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
 		if s.Parent != "" {
 			args["parent"] = s.Parent
 		}
+		if s.TraceID != "" {
+			args["trace"] = s.TraceID
+		}
 		if !s.Ended {
 			args["unended"] = "true"
 		}
@@ -141,6 +144,8 @@ func ReadChromeTrace(r io.Reader) ([]SpanRecord, error) {
 					s.ID = v
 				case "parent":
 					s.Parent = v
+				case "trace":
+					s.TraceID = v
 				case "unended":
 					s.Ended = false
 				default:

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestMergeMetricsEmpty(t *testing.T) {
+	got, err := MergeMetrics(nil, nil)
+	if err != nil {
+		t.Fatalf("merging empties: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("merging empties yielded %d metrics", len(got))
+	}
+
+	// Empty registry snapshots on either side are no-ops.
+	r := NewRegistry()
+	r.Counter("reqs", L("code", "200")).Add(3)
+	snap := r.Snapshot()
+	if got, err = MergeMetrics(snap, NewRegistry().Snapshot()); err != nil || !reflect.DeepEqual(got, snap) {
+		t.Fatalf("merge with empty src changed dst: %v / %+v", err, got)
+	}
+	if got, err = MergeMetrics(NewRegistry().Snapshot(), snap); err != nil || !reflect.DeepEqual(got, snap) {
+		t.Fatalf("merge into empty dst != src: %v / %+v", err, got)
+	}
+}
+
+func TestMergeMetricsSums(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("reqs", L("code", "200")).Add(5)
+	a.Gauge("inflight").Set(2)
+	a.Histogram("lat", []float64{0.1, 1}).Observe(0.05)
+	b := NewRegistry()
+	b.Counter("reqs", L("code", "200")).Add(7)
+	b.Counter("reqs", L("code", "500")).Add(1)
+	b.Gauge("inflight").Set(3)
+	b.Histogram("lat", []float64{0.1, 1}).Observe(0.5)
+	b.Histogram("lat", []float64{0.1, 1}).Observe(5)
+
+	got, err := MergeMetrics(a.Snapshot(), b.Snapshot())
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	byKey := map[string]Metric{}
+	for _, m := range got {
+		byKey[metricLabel(m)] = m
+	}
+	if v := byKey[`reqs{code=200}`].Value; v != 12 {
+		t.Errorf("counter sum %v, want 12", v)
+	}
+	if v := byKey[`reqs{code=500}`].Value; v != 1 {
+		t.Errorf("new label set %v, want 1", v)
+	}
+	if v := byKey["inflight"].Value; v != 5 {
+		t.Errorf("gauge sum %v, want 5 (gauges add on merge)", v)
+	}
+	h := byKey["lat"]
+	if h.Count != 3 || h.Sum != 5.55 {
+		t.Errorf("histogram count=%d sum=%v, want 3 / 5.55", h.Count, h.Sum)
+	}
+	if want := []uint64{1, 1, 1}; !reflect.DeepEqual(h.Counts, want) {
+		t.Errorf("bucket counts %v, want %v", h.Counts, want)
+	}
+}
+
+func TestMergeMetricsRejectsMismatchedBuckets(t *testing.T) {
+	a := NewRegistry()
+	a.Histogram("lat", []float64{0.1, 1}).Observe(0.05)
+	bad := NewRegistry()
+	bad.Histogram("lat", []float64{0.2, 2}).Observe(0.05)
+
+	dst := a.Snapshot()
+	got, err := MergeMetrics(dst, bad.Snapshot())
+	if err == nil {
+		t.Fatalf("mismatched bucket layout accepted")
+	}
+	if !reflect.DeepEqual(got, dst) {
+		t.Fatalf("rejected merge modified dst: %+v", got)
+	}
+
+	// Different bucket *count* is rejected too.
+	short := NewRegistry()
+	short.Histogram("lat", []float64{0.1}).Observe(0.05)
+	if _, err := MergeMetrics(dst, short.Snapshot()); err == nil {
+		t.Fatalf("mismatched bucket count accepted")
+	}
+
+	// Type collisions are rejected.
+	c := NewRegistry()
+	c.Counter("lat").Inc()
+	if _, err := MergeMetrics(dst, c.Snapshot()); err == nil {
+		t.Fatalf("counter merged into histogram")
+	}
+}
+
+func TestMergeMetricsAtomicOnPartialFailure(t *testing.T) {
+	// src carries one good metric and one bad one; the good one must
+	// NOT land when the bad one is rejected.
+	dst := NewRegistry()
+	dst.Counter("reqs").Add(1)
+	dst.Histogram("lat", []float64{0.1, 1}).Observe(0.05)
+	src := NewRegistry()
+	src.Counter("reqs").Add(100)
+	src.Histogram("lat", []float64{9}).Observe(0.05)
+
+	before := dst.Snapshot()
+	got, err := MergeMetrics(before, src.Snapshot())
+	if err == nil {
+		t.Fatalf("bad snapshot accepted")
+	}
+	if !reflect.DeepEqual(got, before) {
+		t.Fatalf("partial merge applied: %+v", got)
+	}
+}
+
+func TestMergeMetricsMonotone(t *testing.T) {
+	// Repeatedly merging successive cumulative snapshots must keep
+	// counters non-decreasing in the aggregate.
+	replica := NewRegistry()
+	var agg []Metric
+	last := -1.0
+	for i := 0; i < 5; i++ {
+		replica.Counter("reqs").Add(float64(i + 1))
+		fresh, err := MergeMetrics(nil, replica.Snapshot())
+		if err != nil {
+			t.Fatalf("merge %d: %v", i, err)
+		}
+		agg = fresh
+		if v := agg[0].Value; v < last {
+			t.Fatalf("counter went backwards: %v after %v", v, last)
+		} else {
+			last = v
+		}
+	}
+	if last != 15 {
+		t.Fatalf("final counter %v, want 15", last)
+	}
+}
+
+func TestMergeMetricsDoesNotAliasInputs(t *testing.T) {
+	a := NewRegistry()
+	a.Histogram("lat", []float64{0.1, 1}).Observe(0.05)
+	dst := a.Snapshot()
+	src := a.Snapshot()
+	got, err := MergeMetrics(dst, src)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	got[0].Counts[0] = 999
+	if dst[0].Counts[0] == 999 || src[0].Counts[0] == 999 {
+		t.Fatalf("merged output aliases an input snapshot")
+	}
+}
+
+func TestMergedQuantilesMatchSingleRun(t *testing.T) {
+	// The acceptance criterion: the same observations split across N
+	// replicas and merged must give the same quantiles as a single
+	// registry seeing the whole stream.
+	bounds := ExpBuckets(50e-6, 2, 25)
+	single := NewRegistry()
+	replicas := []*Registry{NewRegistry(), NewRegistry(), NewRegistry()}
+	for i := 0; i < 300; i++ {
+		v := 100e-6 * float64(1+i%50)
+		single.Histogram("lat", bounds).Observe(v)
+		replicas[i%3].Histogram("lat", bounds).Observe(v)
+	}
+	var merged []Metric
+	var err error
+	for _, r := range replicas {
+		if merged, err = MergeMetrics(merged, r.Snapshot()); err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+	}
+	want := single.Snapshot()[0]
+	got := merged[0]
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		wq, gq := want.Quantile(q), got.Quantile(q)
+		if math.Abs(wq-gq) > 1e-12 {
+			t.Errorf("q%.2f: merged %v, single %v", q, gq, wq)
+		}
+	}
+	if got.Count != want.Count {
+		t.Errorf("merged count %d, single %d", got.Count, want.Count)
+	}
+}
+
+func TestTelemetrySnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve_requests_total", L("code", "200"), L("endpoint", "/v1/predict")).Add(4)
+	r.Histogram("serve_latency_seconds", ExpBuckets(50e-6, 2, 25)).Observe(0.003)
+	snap := TelemetrySnapshot{Source: "r0", UptimeS: 12.5, Metrics: r.Snapshot()}
+
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var got TelemetrySnapshot
+	if err := json.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, snap)
+	}
+
+	// Empty-registry snapshots survive the wire too.
+	empty := TelemetrySnapshot{Source: "r1", Metrics: NewRegistry().Snapshot()}
+	buf.Reset()
+	if err := json.NewEncoder(&buf).Encode(empty); err != nil {
+		t.Fatalf("encode empty: %v", err)
+	}
+	if err := json.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if len(got.Metrics) != 0 {
+		t.Fatalf("empty snapshot decoded with %d metrics", len(got.Metrics))
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+)
+
+// TraceParentHeader is the HTTP header carrying trace context between
+// processes, modeled on the W3C Trace Context `traceparent` field:
+//
+//	00-<32 hex trace-id>-<16 hex parent-span-id>-<2 hex flags>
+//
+// The router injects it on every forward; serve handlers extract it so
+// the replica's handler span becomes a child of the router's forward
+// span. IDs stay seed-deterministic (SplitMix64, see trace.go), so a
+// same-seed run reproduces the stitched tree byte for byte.
+const TraceParentHeader = "traceparent"
+
+// traceParentLen is the exact length of a version-00 traceparent value:
+// 2 + 1 + 32 + 1 + 16 + 1 + 2.
+const traceParentLen = 55
+
+// TraceParent is the decoded form of a traceparent header: which trace
+// the request belongs to and which remote span is the parent of
+// whatever span the receiver starts.
+type TraceParent struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// Valid reports whether the context identifies both a trace and a
+// parent span — the minimum for a receiver to stitch onto the remote
+// tree. Invalid contexts must be ignored (fresh root span instead).
+func (tp TraceParent) Valid() bool {
+	return !tp.TraceID.IsZero() && tp.SpanID != 0
+}
+
+// String encodes the context as a version-00 traceparent value. The
+// zero TraceParent encodes as "" so callers can skip header injection.
+func (tp TraceParent) String() string {
+	if !tp.Valid() {
+		return ""
+	}
+	flags := 0
+	if tp.Sampled {
+		flags = 1
+	}
+	return fmt.Sprintf("00-%016x%016x-%016x-%02x",
+		tp.TraceID.Hi, tp.TraceID.Lo, uint64(tp.SpanID), flags)
+}
+
+// ParseTraceParent decodes a traceparent header value. It accepts only
+// well-formed version-00 values — exact length, lowercase hex, nonzero
+// trace and parent IDs — and returns an error for everything else.
+// Callers treat a parse error as "no remote parent" and start a fresh
+// root span; malformed input from the network must never take a
+// request down (see FuzzParseTraceParent).
+func ParseTraceParent(v string) (TraceParent, error) {
+	if len(v) != traceParentLen {
+		return TraceParent{}, fmt.Errorf("traceparent: length %d, want %d", len(v), traceParentLen)
+	}
+	if v[0] != '0' || v[1] != '0' {
+		return TraceParent{}, fmt.Errorf("traceparent: unsupported version %q", v[:2])
+	}
+	if v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return TraceParent{}, fmt.Errorf("traceparent: bad field separators")
+	}
+	hi, ok := parseHex64(v[3:19])
+	if !ok {
+		return TraceParent{}, fmt.Errorf("traceparent: bad trace-id")
+	}
+	lo, ok := parseHex64(v[19:35])
+	if !ok {
+		return TraceParent{}, fmt.Errorf("traceparent: bad trace-id")
+	}
+	span, ok := parseHex64(v[36:52])
+	if !ok {
+		return TraceParent{}, fmt.Errorf("traceparent: bad parent-id")
+	}
+	flags, ok := parseHex64(v[53:55])
+	if !ok {
+		return TraceParent{}, fmt.Errorf("traceparent: bad flags")
+	}
+	tp := TraceParent{
+		TraceID: TraceID{Hi: hi, Lo: lo},
+		SpanID:  SpanID(span),
+		Sampled: flags&1 != 0,
+	}
+	if !tp.Valid() {
+		return TraceParent{}, fmt.Errorf("traceparent: zero trace-id or parent-id")
+	}
+	return tp, nil
+}
+
+// parseHex64 decodes lowercase hex without allowing the "+", "_", or
+// uppercase forms strconv.ParseUint tolerates.
+func parseHex64(s string) (uint64, bool) {
+	var x uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return 0, false
+		}
+		x = x<<4 | d
+	}
+	return x, true
+}
+
+// spanCtxKey is the private context key under which instrumented HTTP
+// handlers stash their span so downstream code (the router's forward
+// path) can parent onto it.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying the span. A nil span
+// returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span stored by ContextWithSpan, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}

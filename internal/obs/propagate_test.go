@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	tp := TraceParent{
+		TraceID: TraceID{Hi: 0x0123456789abcdef, Lo: 0xfedcba9876543210},
+		SpanID:  SpanID(0xdeadbeefcafef00d),
+		Sampled: true,
+	}
+	enc := tp.String()
+	if len(enc) != traceParentLen {
+		t.Fatalf("encoded length %d, want %d: %q", len(enc), traceParentLen, enc)
+	}
+	want := "00-0123456789abcdeffedcba9876543210-deadbeefcafef00d-01"
+	if enc != want {
+		t.Fatalf("encoded %q, want %q", enc, want)
+	}
+	got, err := ParseTraceParent(enc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got != tp {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", got, tp)
+	}
+}
+
+func TestTraceParentUnsampled(t *testing.T) {
+	tp := TraceParent{TraceID: TraceID{Lo: 1}, SpanID: 2, Sampled: false}
+	got, err := ParseTraceParent(tp.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got.Sampled {
+		t.Fatalf("flags 00 parsed as sampled")
+	}
+}
+
+func TestTraceParentZeroEncodesEmpty(t *testing.T) {
+	if s := (TraceParent{}).String(); s != "" {
+		t.Fatalf("zero TraceParent encoded as %q, want empty", s)
+	}
+	if s := (TraceParent{TraceID: TraceID{Lo: 1}}).String(); s != "" {
+		t.Fatalf("parentless TraceParent encoded as %q, want empty", s)
+	}
+}
+
+func TestParseTraceParentRejects(t *testing.T) {
+	valid := "00-0123456789abcdeffedcba9876543210-deadbeefcafef00d-01"
+	cases := map[string]string{
+		"empty":          "",
+		"truncated":      valid[:54],
+		"oversized":      valid + "0",
+		"version-ff":     "ff" + valid[2:],
+		"bad-sep":        strings.Replace(valid, "-", "_", 1),
+		"uppercase-hex":  strings.ToUpper(valid),
+		"nonhex-trace":   "00-z123456789abcdeffedcba9876543210-deadbeefcafef00d-01",
+		"nonhex-flags":   valid[:53] + "zz",
+		"zero-trace-id":  "00-00000000000000000000000000000000-deadbeefcafef00d-01",
+		"zero-parent-id": "00-0123456789abcdeffedcba9876543210-0000000000000000-01",
+		"plus-sign":      "00-+123456789abcdeffedcba9876543210-deadbeefcafef00d-01",
+	}
+	for name, v := range cases {
+		if _, err := ParseTraceParent(v); err == nil {
+			t.Errorf("%s: ParseTraceParent(%q) accepted invalid input", name, v)
+		}
+	}
+}
+
+func FuzzParseTraceParent(f *testing.F) {
+	f.Add("00-0123456789abcdeffedcba9876543210-deadbeefcafef00d-01")
+	f.Add("")
+	f.Add("00--")
+	f.Add(strings.Repeat("0", 55))
+	f.Add(strings.Repeat("a", 4096))
+	f.Add("00-0123456789abcdeffedcba9876543210-deadbeefcafef00d-0")
+	f.Fuzz(func(t *testing.T, v string) {
+		tp, err := ParseTraceParent(v)
+		if err != nil {
+			if tp != (TraceParent{}) {
+				t.Fatalf("error return carried non-zero context: %+v", tp)
+			}
+			// Invalid input must fall back to a fresh root span, never
+			// a partial stitch.
+			tr := NewTracer(1)
+			s := tr.StartRemote(tp, "h", 0)
+			if recs := tr.Spans(); recs[0].Parent != "" {
+				t.Fatalf("invalid header produced a parented span: %+v", recs[0])
+			}
+			_ = s
+			return
+		}
+		if !tp.Valid() {
+			t.Fatalf("accepted context is invalid: %+v", tp)
+		}
+		// Re-encoding normalizes the flags byte to 00/01, so round-trip
+		// through a second parse instead of comparing strings.
+		again, err := ParseTraceParent(tp.String())
+		if err != nil {
+			t.Fatalf("re-encoded %q failed to parse: %v", tp.String(), err)
+		}
+		if again != tp {
+			t.Fatalf("round-trip changed %+v to %+v", tp, again)
+		}
+	})
+}
+
+func TestStartRemoteStitches(t *testing.T) {
+	router := NewTracer(1)
+	router.SetClock(fixedClock(1000))
+	fwd := router.StartChild(router.Start("router /v1/predict", 0), "forward", 0)
+
+	replica := NewTracer(2)
+	replica.SetClock(fixedClock(1000))
+	h := replica.StartRemote(fwd.TraceParent(), "http /v1/predict", 0)
+	h.End(0.1)
+
+	recs := replica.Spans()
+	if recs[0].Parent != fwd.ID().String() {
+		t.Fatalf("handler parent %q, want forward span %q", recs[0].Parent, fwd.ID().String())
+	}
+	if recs[0].TraceID != fwd.TraceID().String() {
+		t.Fatalf("handler trace %q, want %q", recs[0].TraceID, fwd.TraceID().String())
+	}
+	// The trace ID was rooted by the router's root span.
+	routerRecs := router.Spans()
+	if routerRecs[0].TraceID != recs[0].TraceID {
+		t.Fatalf("router root trace %q != replica trace %q", routerRecs[0].TraceID, recs[0].TraceID)
+	}
+}
+
+func TestLocalRootDerivesTraceFromSpanID(t *testing.T) {
+	tr := NewTracer(9)
+	tr.SetClock(fixedClock(1))
+	root := tr.Start("r", 0)
+	child := tr.StartChild(root, "c", 0)
+	if got, want := root.TraceID(), (TraceID{Lo: uint64(root.ID())}); got != want {
+		t.Fatalf("root trace %+v, want derived %+v", got, want)
+	}
+	if child.TraceID() != root.TraceID() {
+		t.Fatalf("child did not inherit trace: %+v vs %+v", child.TraceID(), root.TraceID())
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	ctx := context.Background()
+	if SpanFromContext(ctx) != nil {
+		t.Fatalf("empty context returned a span")
+	}
+	if got := ContextWithSpan(ctx, nil); got != ctx {
+		t.Fatalf("nil span should return ctx unchanged")
+	}
+	tr := NewTracer(3)
+	tr.SetClock(fixedClock(1))
+	s := tr.Start("x", 0)
+	if got := SpanFromContext(ContextWithSpan(ctx, s)); got != s {
+		t.Fatalf("SpanFromContext returned %p, want %p", got, s)
+	}
+	// Nil-span plumbing end to end: a nil tracer's span is nil and
+	// TraceParent on it is zero (so no header is injected).
+	var nilTr *Tracer
+	ns := nilTr.Start("y", 0)
+	if ns.TraceParent().Valid() {
+		t.Fatalf("nil span produced a valid TraceParent")
+	}
+}

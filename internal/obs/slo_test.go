@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"testing"
+)
+
+// obsAt builds a cumulative availability observation.
+func obsAt(atS, total, errors float64) SLOObs {
+	return SLOObs{AtS: atS, Total: total, Errors: errors}
+}
+
+func TestSLOAvailabilityFiresExactlyOnce(t *testing.T) {
+	tr := NewSLOTracker([]SLO{{Name: "avail", TargetAvailability: 0.9, WindowS: 100}})
+
+	// Healthy traffic: no alerts.
+	if al := tr.Observe(obsAt(10, 100, 0)); len(al) != 0 {
+		t.Fatalf("healthy window alerted: %+v", al)
+	}
+	// Error burst pushes bad fraction over 10%: fires once...
+	al := tr.Observe(obsAt(20, 200, 50))
+	if len(al) != 1 || al[0].State != "firing" || al[0].SLO != "avail" {
+		t.Fatalf("expected one firing alert, got %+v", al)
+	}
+	// ...and stays silent while still burning (no re-fire).
+	if al := tr.Observe(obsAt(30, 250, 80)); len(al) != 0 {
+		t.Fatalf("re-fired while already firing: %+v", al)
+	}
+	// Recovery: errors stop, window slides past the burst — resolves once.
+	var resolved []SLOAlert
+	for at := 40.0; at <= 160; at += 10 {
+		resolved = append(resolved, tr.Observe(obsAt(at, 250+(at-30)*10, 80))...)
+	}
+	if len(resolved) != 1 || resolved[0].State != "resolved" {
+		t.Fatalf("expected exactly one resolved alert, got %+v", resolved)
+	}
+	// Full transition log: firing then resolved, nothing else.
+	all := tr.Alerts()
+	if len(all) != 2 || all[0].State != "firing" || all[1].State != "resolved" {
+		t.Fatalf("alert log %+v", all)
+	}
+}
+
+func TestSLOLatencyBurnRate(t *testing.T) {
+	bounds := []float64{0.1, 0.25, 1}
+	slo := SLO{Name: "p99", LatencyQuantile: 0.99, LatencyBoundS: 0.25, WindowS: 100}
+	tr := NewSLOTracker([]SLO{slo})
+
+	mk := func(atS float64, counts []uint64) SLOObs {
+		var n uint64
+		for _, c := range counts {
+			n += c
+		}
+		return SLOObs{AtS: atS, LatBounds: bounds, LatCounts: counts, LatCount: n}
+	}
+	// 100 requests all under 250 ms: fine.
+	if al := tr.Observe(mk(10, []uint64{90, 10, 0, 0})); len(al) != 0 {
+		t.Fatalf("fast traffic alerted: %+v", al)
+	}
+	// 5 of the next 100 land in the 1s bucket: 5% > the 1% budget.
+	al := tr.Observe(mk(20, []uint64{170, 25, 5, 0}))
+	if len(al) != 1 || al[0].State != "firing" {
+		t.Fatalf("slow tail did not fire: %+v", al)
+	}
+	if al[0].BurnRate < 1 {
+		t.Fatalf("burn rate %v, want >= 1", al[0].BurnRate)
+	}
+	st := tr.Status()
+	if len(st) != 1 || !st[0].Firing {
+		t.Fatalf("status %+v", st)
+	}
+	if st[0].WindowBad != 5 {
+		t.Fatalf("window bad %v, want 5 (the 1s-bucket requests)", st[0].WindowBad)
+	}
+}
+
+func TestSLOEmptyWindowDoesNotFlap(t *testing.T) {
+	tr := NewSLOTracker([]SLO{{Name: "avail", TargetAvailability: 0.9, WindowS: 10}})
+	tr.Observe(obsAt(1, 10, 5)) // fires
+	// Traffic stops entirely; windows slide empty. The alert must not
+	// resolve (no evidence) and must not re-fire.
+	for at := 20.0; at < 100; at += 10 {
+		if al := tr.Observe(obsAt(at, 10, 5)); len(al) != 0 {
+			t.Fatalf("empty window at %v emitted %+v", at, al)
+		}
+	}
+	if st := tr.Status(); !st[0].Firing {
+		t.Fatalf("firing state lost over empty windows")
+	}
+}
+
+func TestSLOOutOfOrderDropped(t *testing.T) {
+	tr := NewSLOTracker([]SLO{{Name: "avail", TargetAvailability: 0.9, WindowS: 100}})
+	tr.Observe(obsAt(10, 100, 0))
+	if al := tr.Observe(obsAt(5, 0, 0)); len(al) != 0 {
+		t.Fatalf("out-of-order sample emitted %+v", al)
+	}
+	if st := tr.Status(); st[0].WindowTotal != 100 {
+		t.Fatalf("out-of-order sample perturbed the window: %+v", st[0])
+	}
+}
+
+func TestSLODeterministicReplay(t *testing.T) {
+	run := func() []SLOAlert {
+		tr := NewSLOTracker(DefaultSLOs())
+		for i := 0; i < 50; i++ {
+			at := float64(i) * 10
+			errs := 0.0
+			if i > 20 && i < 30 {
+				errs = float64(i-20) * 5
+			}
+			tr.Observe(SLOObs{AtS: at, Total: float64(i) * 100, Errors: errs})
+		}
+		return tr.Alerts()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatalf("scenario produced no alerts")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("replay diverged: %d vs %d alerts", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRequestObs(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve_requests_total", L("code", "200"), L("endpoint", "/v1/predict")).Add(90)
+	r.Counter("serve_requests_total", L("code", "429"), L("endpoint", "/v1/predict")).Add(4)
+	r.Counter("serve_requests_total", L("code", "500"), L("endpoint", "/v1/predict")).Add(6)
+	r.Counter("other_total").Add(99)
+	h := r.Histogram("serve_latency_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h2 := r.Histogram("serve_latency_seconds", []float64{0.1, 1}, L("endpoint", "/v1/plan"))
+	h2.Observe(2)
+
+	o := RequestObs(42, r.Snapshot(), "serve_requests_total", "serve_latency_seconds")
+	if o.AtS != 42 {
+		t.Errorf("AtS %v", o.AtS)
+	}
+	if o.Total != 100 {
+		t.Errorf("total %v, want 100", o.Total)
+	}
+	if o.Errors != 6 {
+		t.Errorf("errors %v, want 6 (only 5xx count)", o.Errors)
+	}
+	if o.LatCount != 3 {
+		t.Errorf("latency count %v, want 3 (merged across label sets)", o.LatCount)
+	}
+	want := []uint64{1, 1, 1}
+	for i, c := range o.LatCounts {
+		if c != want[i] {
+			t.Errorf("lat counts %v, want %v", o.LatCounts, want)
+			break
+		}
+	}
+}
+
+func TestSLOTrackerNilSafe(t *testing.T) {
+	var tr *SLOTracker
+	if al := tr.Observe(obsAt(1, 1, 0)); al != nil {
+		t.Fatalf("nil tracker observed: %+v", al)
+	}
+	if tr.Status() != nil || tr.Alerts() != nil {
+		t.Fatalf("nil tracker returned state")
+	}
+}

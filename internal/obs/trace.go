@@ -43,6 +43,28 @@ func (id SpanID) String() string {
 	return fmt.Sprintf("%016x", uint64(id))
 }
 
+// TraceID is a deterministic 128-bit trace identifier grouping every
+// span — across processes — that served one logical request. The zero
+// value means "no trace". Locally rooted spans derive their trace ID
+// from their own span ID (Hi = 0); spans started from a remote parent
+// inherit the trace ID carried by the traceparent header, so a request
+// that crosses the cluster router keeps one identity end to end.
+type TraceID struct {
+	Hi uint64
+	Lo uint64
+}
+
+// IsZero reports whether the ID is the "no trace" value.
+func (t TraceID) IsZero() bool { return t.Hi == 0 && t.Lo == 0 }
+
+// String renders the ID as 32 hex digits, or "" for the zero ID.
+func (t TraceID) String() string {
+	if t.IsZero() {
+		return ""
+	}
+	return fmt.Sprintf("%016x%016x", t.Hi, t.Lo)
+}
+
 // spanID mixes the tracer seed and the span's start sequence number
 // through the SplitMix64 finalizer. Same seed + same start order = same
 // IDs; the mixing keeps IDs from colliding across nearby seeds.
@@ -102,6 +124,7 @@ type Span struct {
 	t         *Tracer
 	id        SpanID
 	parent    SpanID
+	trace     TraceID
 	name      string
 	track     string
 	simStart  float64 // simulated seconds
@@ -112,33 +135,50 @@ type Span struct {
 	ended     bool
 }
 
-// Start opens a root span at the given simulated time.
+// Start opens a root span at the given simulated time. The span roots a
+// fresh trace whose ID derives from the span's own deterministic ID.
 func (t *Tracer) Start(name string, simS float64) *Span {
-	return t.start(0, "", name, simS)
+	return t.start(0, TraceID{}, "", name, simS)
 }
 
 // StartChild opens a span under parent (nil parent makes a root span).
-// The child inherits the parent's track until SetTrack overrides it.
+// The child inherits the parent's track until SetTrack overrides it,
+// and the parent's trace identity always.
 func (t *Tracer) StartChild(parent *Span, name string, simS float64) *Span {
 	var pid SpanID
+	var trace TraceID
 	track := ""
 	if parent != nil {
 		pid = parent.id
+		trace = parent.trace
 		track = parent.track
 	}
-	return t.start(pid, track, name, simS)
+	return t.start(pid, trace, track, name, simS)
 }
 
-func (t *Tracer) start(parent SpanID, track, name string, simS float64) *Span {
+// StartRemote opens a span whose parent lives in another process, as
+// carried by a traceparent header: the new span's parent link is the
+// remote span ID and its trace identity is the propagated trace ID, so
+// multi-process exports stitch into one tree (see cmd/trace -merge).
+func (t *Tracer) StartRemote(tp TraceParent, name string, simS float64) *Span {
+	return t.start(tp.SpanID, tp.TraceID, "", name, simS)
+}
+
+func (t *Tracer) start(parent SpanID, trace TraceID, track, name string, simS float64) *Span {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	id := spanID(t.seed, t.seq)
+	if trace.IsZero() {
+		trace = TraceID{Lo: uint64(id)}
+	}
 	s := &Span{
 		t:         t,
-		id:        spanID(t.seed, t.seq),
+		id:        id,
 		parent:    parent,
+		trace:     trace,
 		name:      name,
 		track:     track,
 		simStart:  simS,
@@ -156,6 +196,24 @@ func (s *Span) ID() SpanID {
 		return 0
 	}
 	return s.id
+}
+
+// TraceID returns the span's trace identity (zero on a nil span).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.trace
+}
+
+// TraceParent returns the context to propagate to a downstream process
+// so its handler span becomes this span's child: this span's trace ID
+// and its own span ID as the remote parent. Zero on a nil span.
+func (s *Span) TraceParent() TraceParent {
+	if s == nil {
+		return TraceParent{}
+	}
+	return TraceParent{TraceID: s.trace, SpanID: s.id, Sampled: true}
 }
 
 // SetTrack assigns the span to a named exporter lane (a Perfetto
@@ -206,6 +264,7 @@ func (s *Span) End(simS float64) {
 type SpanRecord struct {
 	ID          string  `json:"id"`
 	Parent      string  `json:"parent,omitempty"`
+	TraceID     string  `json:"trace,omitempty"`
 	Name        string  `json:"name"`
 	Track       string  `json:"track,omitempty"`
 	SimStartS   float64 `json:"sim_start_s"`
@@ -243,6 +302,7 @@ func (t *Tracer) Spans() []SpanRecord {
 		r := SpanRecord{
 			ID:          s.id.String(),
 			Parent:      s.parent.String(),
+			TraceID:     s.trace.String(),
 			Name:        s.name,
 			Track:       s.track,
 			SimStartS:   s.simStart,

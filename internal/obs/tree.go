@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderSpanTree renders spans — possibly merged from several process
+// exports (cmd/trace -merge) — as one indented tree per trace. Output
+// is timestamp-free on purpose: it shows only structure (trace IDs,
+// parent-child nesting, names, attributes, span IDs), so two same-seed
+// runs render byte-identical trees even though wall clocks differ.
+//
+// Grouping: spans sharing a trace ID form one tree; spans without a
+// trace ID each form their own group keyed by span ID (pre-propagation
+// exports stay renderable). Traces order by trace ID, roots and
+// children by appearance order within the input — deterministic
+// because span start order is. A span whose parent ID is absent from
+// the input is shown as a root with a "remote-parent" note rather than
+// dropped, so a partial merge still renders every span.
+func RenderSpanTree(spans []SpanRecord) string {
+	byID := make(map[string]SpanRecord, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+
+	traceOf := func(s SpanRecord) string {
+		if s.TraceID != "" {
+			return s.TraceID
+		}
+		return s.ID
+	}
+
+	children := map[string][]string{} // parent span ID -> child span IDs, appearance order
+	rootsByTrace := map[string][]string{}
+	var traceOrder []string
+	seenTrace := map[string]bool{}
+	for _, s := range spans {
+		tr := traceOf(s)
+		if !seenTrace[tr] {
+			seenTrace[tr] = true
+			traceOrder = append(traceOrder, tr)
+		}
+		if s.Parent != "" {
+			if _, ok := byID[s.Parent]; ok {
+				children[s.Parent] = append(children[s.Parent], s.ID)
+				continue
+			}
+		}
+		rootsByTrace[tr] = append(rootsByTrace[tr], s.ID)
+	}
+	sort.Strings(traceOrder)
+
+	var b strings.Builder
+	visited := make(map[string]bool, len(spans)) // cycle guard: file input may self-parent
+	var render func(id string, depth int)
+	render = func(id string, depth int) {
+		if visited[id] {
+			return
+		}
+		visited[id] = true
+		s := byID[id]
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(s.Name)
+		if len(s.Attrs) > 0 {
+			b.WriteString(" [")
+			for i, a := range s.Attrs {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%s=%s", a.Key, a.Value)
+			}
+			b.WriteByte(']')
+		}
+		fmt.Fprintf(&b, " id=%s", s.ID)
+		if s.Parent != "" && depth == 1 { // a root with a parent: that parent is in another export
+
+			fmt.Fprintf(&b, " (remote parent %s)", s.Parent)
+		}
+		if !s.Ended {
+			b.WriteString(" (unended)")
+		}
+		b.WriteByte('\n')
+		for _, c := range children[id] {
+			render(c, depth+1)
+		}
+	}
+	for _, tr := range traceOrder {
+		roots := rootsByTrace[tr]
+		if len(roots) == 0 {
+			continue // every span of this trace hangs under another trace's span
+		}
+		fmt.Fprintf(&b, "trace %s\n", tr)
+		for _, r := range roots {
+			render(r, 1)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// stitchedRun simulates a router process and a replica process serving
+// one request, with the trace context crossing via a traceparent
+// header, and returns the merged span records.
+func stitchedRun() []SpanRecord {
+	router := NewTracer(1)
+	router.SetClock(fixedClock(1000))
+	req := router.Start("router /v1/predict", 0)
+	fwd := router.StartChild(req, "forward r0", 0.001)
+	fwd.SetAttr("replica", "r0")
+
+	header := fwd.TraceParent().String()
+	tp, _ := ParseTraceParent(header)
+
+	replica := NewTracer(2)
+	replica.SetClock(fixedClock(1000))
+	h := replica.StartRemote(tp, "http /v1/predict", 0)
+	h.End(0.01)
+
+	fwd.End(0.012)
+	req.End(0.013)
+
+	return append(router.Spans(), replica.Spans()...)
+}
+
+func TestRenderSpanTreeStitches(t *testing.T) {
+	out := RenderSpanTree(stitchedRun())
+
+	// One trace header, with router -> forward -> handler nesting.
+	if strings.Count(out, "trace ") != 1 {
+		t.Fatalf("expected one stitched trace, got:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "  router /v1/predict") {
+		t.Errorf("root line: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "    forward r0") {
+		t.Errorf("forward not nested under router: %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "      http /v1/predict") {
+		t.Errorf("handler not nested under forward: %q", lines[3])
+	}
+	if !strings.Contains(lines[2], "replica=r0") {
+		t.Errorf("attrs missing from %q", lines[2])
+	}
+}
+
+func TestRenderSpanTreeByteIdenticalAcrossRuns(t *testing.T) {
+	a := RenderSpanTree(stitchedRun())
+	b := RenderSpanTree(stitchedRun())
+	if a != b {
+		t.Fatalf("same-seed stitched trees differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRenderSpanTreeOrphanParent(t *testing.T) {
+	// A replica export merged WITHOUT the router export: the handler's
+	// parent span is absent, so it renders as a root with a note.
+	tr := NewTracer(2)
+	tr.SetClock(fixedClock(1))
+	h := tr.StartRemote(TraceParent{TraceID: TraceID{Lo: 7}, SpanID: 9, Sampled: true}, "http /v1/predict", 0)
+	h.End(1)
+	out := RenderSpanTree(tr.Spans())
+	if !strings.Contains(out, "remote parent 0000000000000009") {
+		t.Fatalf("orphan span lost its remote-parent note:\n%s", out)
+	}
+	if !strings.Contains(out, "trace 00000000000000000000000000000007") {
+		t.Fatalf("trace grouping missing:\n%s", out)
+	}
+}
+
+func TestRenderSpanTreePrePropagationSpans(t *testing.T) {
+	// Records without trace IDs (old exports) group per root span.
+	spans := []SpanRecord{
+		{ID: "aa", Name: "one", Ended: true},
+		{ID: "bb", Parent: "aa", Name: "two", Ended: false},
+	}
+	out := RenderSpanTree(spans)
+	if !strings.Contains(out, "trace aa\n") {
+		t.Fatalf("fallback grouping missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(unended)") {
+		t.Fatalf("unended marker missing:\n%s", out)
+	}
+}
+
+func TestRenderSpanTreeCycleSafe(t *testing.T) {
+	spans := []SpanRecord{
+		{ID: "aa", Parent: "bb", Name: "a", Ended: true},
+		{ID: "bb", Parent: "aa", Name: "b", Ended: true},
+		{ID: "cc", Parent: "cc", Name: "self", Ended: true},
+	}
+	// Must terminate; cyclic spans have no root and may be omitted.
+	_ = RenderSpanTree(spans)
+}

@@ -1,0 +1,24 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the opt-in debug mux: the net/http/pprof
+// endpoints under /debug/pprof/. It is deliberately NOT part of the
+// service handler — profiling exposes heap contents and must never
+// ride on the public listener. cmd/serve and cmd/cluster mount it on a
+// separate listener only when -debug-addr is set; the explicit
+// handler registrations below (rather than the package's init side
+// effect on http.DefaultServeMux) keep the main mux clean, which
+// TestDebugEndpointsAbsentFromMainMux pins down.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -23,6 +23,12 @@
 //	GET  /v1/campaigns/{id} campaign status and report
 //	GET  /v1/healthz        liveness + cache occupancy
 //	GET  /v1/metrics        metrics snapshot (text exposition or JSON)
+//	GET  /v1/telemetry      mergeable telemetry snapshot for aggregation
+//
+// Distributed tracing: every request that carries a traceparent header
+// (injected by the cluster router) starts its handler span under that
+// remote parent, so multi-process exports stitch into one tree; the
+// span's trace ID echoes back in the X-Trace-Id response header.
 package serve
 
 import (
@@ -192,6 +198,7 @@ func (s *Server) simNow() float64 { return time.Since(s.startWall).Seconds() }
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/healthz", s.instrument("/v1/healthz", false, s.handleHealthz))
 	s.mux.HandleFunc("GET /v1/metrics", s.instrument("/v1/metrics", false, s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/telemetry", s.instrument("/v1/telemetry", false, s.handleTelemetry))
 	s.mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", true, s.handlePredict))
 	s.mux.HandleFunc("POST /v1/plan", s.instrument("/v1/plan", true, s.handlePlan))
 	s.mux.HandleFunc("POST /v1/campaigns", s.instrument("/v1/campaigns", true, s.handleCampaignSubmit))
@@ -236,7 +243,11 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, retryAfter: s.jitter.next}
 		start := time.Now()
-		sp := s.tracer.Start("http "+endpoint, s.simNow())
+		sp := s.startSpan(r, "http "+endpoint)
+		if tid := sp.TraceID(); !tid.IsZero() {
+			sw.Header().Set("X-Trace-Id", tid.String())
+		}
+		r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
 		defer func() {
 			code := sw.code
 			if code == 0 {
@@ -273,6 +284,19 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 		}
 		h(sw, r)
 	}
+}
+
+// startSpan opens the request's handler span. A valid traceparent
+// header (the router's injection) makes the span a child of the remote
+// forward span — one stitched tree per client request; anything else,
+// including malformed headers, falls back to a fresh local root.
+func (s *Server) startSpan(r *http.Request, name string) *obs.Span {
+	if v := r.Header.Get(obs.TraceParentHeader); v != "" {
+		if tp, err := obs.ParseTraceParent(v); err == nil {
+			return s.tracer.StartRemote(tp, name, s.simNow())
+		}
+	}
+	return s.tracer.Start(name, s.simNow())
 }
 
 // apiError is an error with a fixed HTTP status.
@@ -400,6 +424,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		// Mid-stream failure: the status line is already written.
 		return
 	}
+}
+
+// handleTelemetry serves the raw mergeable metric state — counter sums
+// and histogram buckets, never quantiles — that the cluster router
+// scrapes and folds into fleet-wide aggregates (obs.MergeMetrics).
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.TelemetrySnapshot{
+		UptimeS: s.simNow(),
+		Metrics: s.reg.Snapshot(),
+	})
 }
 
 //lint:hot
