@@ -293,11 +293,11 @@ func BenchmarkAblationZModel(b *testing.B) {
 	ws := perfmodel.WorkloadSummary{Name: "aorta", Points: s.N(), BytesSerial: s.BytesSerial(access)}
 	var inflation float64
 	for i := 0; i < b.N; i++ {
-		with, err := c.PredictGeneral(ws, g, 128)
+		with, err := c.Predict(perfmodel.Request{Model: perfmodel.ModelGeneral, Summary: &ws, General: g, Ranks: 128})
 		if err != nil {
 			b.Fatal(err)
 		}
-		without, err := c.PredictGeneral(ws, noZ, 128)
+		without, err := c.Predict(perfmodel.Request{Model: perfmodel.ModelGeneral, Summary: &ws, General: noZ, Ranks: 128})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 //
 //	csdash -geometry aorta -ranks 128 -steps 10000
 //	csdash -geometry cerebral -ranks 64 -objective min-cost -deadline 120
+//	csdash -geometry aorta -ranks 128 -tier tier0
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"repro/internal/geometry"
 	"repro/internal/lbm"
 	"repro/internal/machine"
+	"repro/internal/perfmodel"
 	"repro/internal/units"
 )
 
@@ -35,8 +37,18 @@ func main() {
 		diameter  = flag.Float64("diameter-mm", 0, "physical vessel diameter; with -speed-ms, prints the units conversion")
 		speed     = flag.Float64("speed-ms", 0, "physical peak flow speed, m/s")
 		heartRate = flag.Float64("heart-rate", 0, "cardiac frequency in Hz (0 = steady)")
+		tier      = flag.String("tier", "", "accuracy tier: auto, tier0, tier1 or tier2 (empty = tier1)")
 	)
 	flag.Parse()
+
+	switch *tier {
+	case "":
+		*tier = perfmodel.Tier1Calibrated // the pre-tier default
+	case perfmodel.TierAuto, perfmodel.Tier0Physics, perfmodel.Tier1Calibrated, perfmodel.Tier2Measured:
+	default:
+		fmt.Fprintf(os.Stderr, "csdash: unknown tier %q (valid: %v)\n", *tier, perfmodel.ValidTiers())
+		os.Exit(2)
+	}
 
 	if *diameter > 0 && *speed > 0 {
 		conv, err := units.Convert(units.Physical{
@@ -92,7 +104,15 @@ func main() {
 	anatomy, err := fw.PrepareAnatomy(dom.Name, dom, lbm.Params{Tau: 0.9, UMax: 0.02})
 	fatal(err)
 
-	as, err := fw.Assess(anatomy, *ranks, *steps)
+	// Tier 2 and auto need the measured-lookup tables; tier1/tier0 (and
+	// the legacy default) run without them.
+	if *tier == perfmodel.Tier2Measured || *tier == perfmodel.TierAuto {
+		tbl, err := perfmodel.DefaultTable()
+		fatal(err)
+		fatal(fw.AttachTable(tbl))
+	}
+
+	as, err := fw.AssessTier(anatomy, *ranks, *steps, *tier)
 	fatal(err)
 	fmt.Printf("\nCSP Option Dashboard — %s, %d cores, %d steps\n\n", dom.Name, *ranks, *steps)
 	fmt.Println(dashboard.RenderAssessments(as))
@@ -112,7 +132,18 @@ func main() {
 	if *deadline > 0 {
 		fmt.Printf(", deadline %.0fs", *deadline)
 	}
-	fmt.Printf("): %s — %.2f MFLUPS, %.1f s, $%.4f\n", best.System, best.MFLUPS, best.Seconds, best.USD)
+	fmt.Printf("): %s — %.2f MFLUPS, %.1f s, $%.4f", best.System, best.MFLUPS, best.Seconds, best.USD)
+	if best.Tier != "" {
+		fmt.Printf("  [%s", best.Tier)
+		if best.Confidence.HiMFLUPS > best.Confidence.LoMFLUPS {
+			fmt.Printf(", %.1f–%.1f MFLUPS", best.Confidence.LoMFLUPS, best.Confidence.HiMFLUPS)
+		}
+		if best.Extrapolated {
+			fmt.Print(", extrapolated")
+		}
+		fmt.Print("]")
+	}
+	fmt.Println()
 }
 
 func fatal(err error) {

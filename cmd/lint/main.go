@@ -31,6 +31,11 @@
 //	                           from current compiler output and exit 0
 //	-perfbudget-dir DIR        budget directory (default
 //	                           internal/analyzers/testdata/perfbudget)
+//	-tables                    validate the committed Tier 2 lookup
+//	                           tables (CSV schema, positive numerics,
+//	                           sorted unique keys) instead of the lint
+//	                           layers; patterns are CSV paths (default
+//	                           internal/perfmodel/tables/*.csv)
 //	-list                      list available checks and exit
 //
 // Patterns are directories or go-style recursive patterns such as
@@ -51,6 +56,7 @@ import (
 	"time"
 
 	"repro/internal/analyzers"
+	"repro/internal/perfmodel"
 )
 
 func main() {
@@ -71,6 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		perfBudget    = fs.Bool("perfbudget", false, "diff compiler escape/bounds diagnostics of hot packages against committed budgets")
 		writeBudget   = fs.Bool("write-perfbudget", false, "regenerate the committed perf budgets and exit")
 		budgetDir     = fs.String("perfbudget-dir", "internal/analyzers/testdata/perfbudget", "perf budget directory")
+		tablesFlag    = fs.Bool("tables", false, "validate the committed Tier 2 lookup tables")
 		listFlag      = fs.Bool("list", false, "list available checks and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -105,6 +112,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *perfBudget || *writeBudget {
 		return runPerfBudget(fs.Args(), *budgetDir, *writeBudget, stdout, stderr)
+	}
+
+	if *tablesFlag {
+		return runTables(fs.Args(), stdout, stderr)
 	}
 
 	var ids []string
@@ -197,6 +208,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 			res.Files, len(fresh), len(res.Diags)-len(fresh), len(stale))
 	}
 	if len(fresh) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runTables implements -tables: run LoadTable's strict validation
+// (exact header, five fields per row, positive numerics, strictly
+// sorted unique (system, kernel, points, ranks) keys) over each
+// committed lookup CSV. Errors carry line numbers, so a broken table
+// fails CI with the offending row named.
+func runTables(patterns []string, stdout, stderr io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"internal/perfmodel/tables/*.csv"}
+	}
+	var paths []string
+	for _, p := range patterns {
+		matches, err := filepath.Glob(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "lint: tables: bad pattern %q: %v\n", p, err)
+			return 2
+		}
+		if matches == nil && !strings.ContainsAny(p, "*?[") {
+			matches = []string{p} // literal path: let the open fail loudly
+		}
+		paths = append(paths, matches...)
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(stderr, "lint: tables: no lookup tables matched")
+		return 2
+	}
+	sort.Strings(paths)
+	failed := false
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "lint: tables: %v\n", err)
+			return 2
+		}
+		rows, groups, err := perfmodel.ValidateTableCSV(f)
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stdout, "lint: tables: FAIL %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Fprintf(stdout, "lint: tables: %s ok (%d row(s), %d group(s))\n", path, rows, groups)
+	}
+	if failed {
 		return 1
 	}
 	return 0

@@ -47,7 +47,7 @@ func main() {
 	}
 	w := simcloud.FromPartition("proxy", ref.N(), part)
 
-	pred, err := char.PredictDirect(w)
+	pred, err := char.Predict(perfmodel.Request{Model: perfmodel.ModelDirect, Workload: &w})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/geometry"
 	"repro/internal/lbm"
 	"repro/internal/monitor"
+	"repro/internal/perfmodel"
 	"repro/internal/units"
 )
 
@@ -51,6 +52,10 @@ type JobConfig struct {
 	System string `json:"system,omitempty"`
 	// Tolerance for the model-driven time guard (default 0.25).
 	Tolerance float64 `json:"tolerance,omitempty"`
+	// Tier selects the prediction accuracy tier for planning this job
+	// ("tier0", "tier1", "tier2" or "auto"); empty keeps the calibrated
+	// Tier 1 default.
+	Tier string `json:"tier,omitempty"`
 	// Spot requests preemptible capacity for this job.
 	Spot bool `json:"spot,omitempty"`
 
@@ -150,6 +155,12 @@ func (c *Config) Validate() error {
 		if j.DeadlineS < 0 {
 			return fmt.Errorf("campaign: job %q deadline_s %g negative", j.Name, j.DeadlineS)
 		}
+		switch j.Tier {
+		case "", perfmodel.TierAuto, perfmodel.Tier0Physics, perfmodel.Tier1Calibrated, perfmodel.Tier2Measured:
+		default:
+			return fmt.Errorf("campaign: job %q tier %q must be one of %v (or empty for %q)",
+				j.Name, j.Tier, perfmodel.ValidTiers(), perfmodel.Tier1Calibrated)
+		}
 	}
 	if c.Fleet != nil {
 		if err := c.fleetConfig().Validate(); err != nil {
@@ -157,6 +168,15 @@ func (c *Config) Validate() error {
 		}
 	}
 	return nil
+}
+
+// jobTier normalizes a job's accuracy-tier selector: empty keeps the
+// legacy calibrated (Tier 1) planning path.
+func jobTier(j JobConfig) string {
+	if j.Tier == "" {
+		return perfmodel.Tier1Calibrated
+	}
+	return j.Tier
 }
 
 // objective maps the config string to a dashboard objective.
@@ -335,7 +355,7 @@ func runSerial(ctx context.Context, fw *core.Framework, cfg Config) (Summary, er
 			}
 			system = best.System
 		}
-		pred, err := fw.PredictDirect(anatomy, system, j.Ranks)
+		pred, err := fw.PredictDirectTier(anatomy, system, j.Ranks, jobTier(j))
 		if err != nil {
 			return Summary{}, err
 		}

@@ -247,7 +247,7 @@ func runFleet(ctx context.Context, fw *core.Framework, cfg Config) (FleetSummary
 			if j.Ranks > sys.MaxRanks() {
 				continue
 			}
-			pred, err := fw.PredictDirect(anatomy, abbrev, j.Ranks)
+			pred, err := fw.PredictDirectTier(anatomy, abbrev, j.Ranks, jobTier(j))
 			if err != nil {
 				return FleetSummary{}, fmt.Errorf("campaign: predicting %q on %s: %w", j.Name, abbrev, err)
 			}

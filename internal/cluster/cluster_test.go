@@ -318,7 +318,7 @@ func TestClusterShed429Propagates(t *testing.T) {
 	// Find a seed owned by the shedding replica.
 	seed := 0
 	for s := 1; s < 300; s++ {
-		if c.Ring().Owner(fmt.Sprintf("CSP-2|cylinder@5|%d", s)) == "shedding" {
+		if c.Ring().Owner(fmt.Sprintf("CSP-2|cylinder@5|%d|tier1", s)) == "shedding" {
 			seed = s
 			break
 		}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/perfmodel"
 )
 
 // Router is the cluster's HTTP front end. It owns no model state: every
@@ -157,16 +158,18 @@ type shardProbe struct {
 	} `json:"workload"`
 	Systems []string `json:"systems"`
 	Seed    int64    `json:"seed"`
+	Tier    string   `json:"tier"`
 }
 
 // shardKey derives the routing key from a planning request body. For a
 // single-system request it mirrors serve's calibration cache key
-// "system|geometry@scale|seed" exactly, so each replica's LRU owns a
-// disjoint key range. Multi-system (or whole-catalog) requests collapse
-// the system part to "*": the workload's catalog-wide calibration set
-// lands on one replica together, which is what lets its plan handler
-// reuse them across the sweep. Undecodable bodies hash as raw bytes —
-// any replica can answer 400.
+// "system|geometry@scale|seed|tier" exactly (an omitted tier normalizes
+// to the calibrated default, as serve does), so each replica's LRU owns
+// a disjoint key range. Multi-system (or whole-catalog) requests
+// collapse the system part to "*": the workload's catalog-wide
+// calibration set lands on one replica together, which is what lets its
+// plan handler reuse them across the sweep. Undecodable bodies hash as
+// raw bytes — any replica can answer 400.
 func (rt *Router) shardKey(body []byte) string {
 	var p shardProbe
 	if err := json.Unmarshal(body, &p); err != nil || p.Workload.Geometry == "" {
@@ -180,7 +183,11 @@ func (rt *Router) shardKey(body []byte) string {
 	if seed == 0 {
 		seed = rt.cfg.DefaultSeed
 	}
-	return fmt.Sprintf("%s|%s@%g|%d", system, p.Workload.Geometry, p.Workload.Scale, seed)
+	tier := p.Tier
+	if tier == "" {
+		tier = perfmodel.Tier1Calibrated
+	}
+	return fmt.Sprintf("%s|%s@%g|%d|%s", system, p.Workload.Geometry, p.Workload.Scale, seed, tier)
 }
 
 // planning returns the sharded forwarding handler for one planning

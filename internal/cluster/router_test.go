@@ -99,7 +99,7 @@ func TestRouterShardsByCalibrationKey(t *testing.T) {
 		if rep == "" {
 			t.Fatal("response missing X-Replica attribution")
 		}
-		wantKey := fmt.Sprintf("CSP-2|cylinder@5|%d", seed)
+		wantKey := fmt.Sprintf("CSP-2|cylinder@5|%d|tier1", seed)
 		if want := c.Ring().Owner(wantKey); rep != want {
 			t.Errorf("seed %d served by %s, ring owner of %q is %s", seed, rep, wantKey, want)
 		}
@@ -142,7 +142,7 @@ func TestRouterRetriesOnceAroundRing(t *testing.T) {
 	victim := "r1"
 	seed := 0
 	for s := 1; s < 200; s++ {
-		if c.Ring().Owner(fmt.Sprintf("CSP-2|cylinder@5|%d", s)) == victim {
+		if c.Ring().Owner(fmt.Sprintf("CSP-2|cylinder@5|%d|tier1", s)) == victim {
 			seed = s
 			break
 		}
@@ -157,7 +157,7 @@ func TestRouterRetriesOnceAroundRing(t *testing.T) {
 		t.Fatalf("failover request: status %d (%s)", resp.StatusCode, data)
 	}
 	got := resp.Header.Get("X-Replica")
-	want := c.Ring().Successors(fmt.Sprintf("CSP-2|cylinder@5|%d", seed), 2)[1]
+	want := c.Ring().Successors(fmt.Sprintf("CSP-2|cylinder@5|%d|tier1", seed), 2)[1]
 	if got != want {
 		t.Errorf("failover served by %s, want ring successor %s", got, want)
 	}
@@ -445,14 +445,19 @@ func TestRouterBodyTooLarge(t *testing.T) {
 // still derive stable keys.
 func TestShardKeyFallbacks(t *testing.T) {
 	rt := &Router{cfg: Config{DefaultSeed: 7}}
-	if k := rt.shardKey([]byte(`{"workload":{"geometry":"aorta","scale":6},"seed":3}`)); k != "*|aorta@6|3" {
+	if k := rt.shardKey([]byte(`{"workload":{"geometry":"aorta","scale":6},"seed":3}`)); k != "*|aorta@6|3|tier1" {
 		t.Errorf("catalog-wide key %q", k)
 	}
-	if k := rt.shardKey([]byte(`{"workload":{"geometry":"aorta","scale":6},"systems":["A","B"]}`)); k != "*|aorta@6|7" {
+	if k := rt.shardKey([]byte(`{"workload":{"geometry":"aorta","scale":6},"systems":["A","B"]}`)); k != "*|aorta@6|7|tier1" {
 		t.Errorf("multi-system key %q", k)
 	}
-	if k := rt.shardKey([]byte(`{"workload":{"geometry":"aorta","scale":6},"systems":["A"]}`)); k != "A|aorta@6|7" {
+	if k := rt.shardKey([]byte(`{"workload":{"geometry":"aorta","scale":6},"systems":["A"]}`)); k != "A|aorta@6|7|tier1" {
 		t.Errorf("single-system key %q", k)
+	}
+	// The tier is part of the key: different tiers shard independently,
+	// matching serve's tier-qualified calibration cache.
+	if k := rt.shardKey([]byte(`{"workload":{"geometry":"aorta","scale":6},"systems":["A"],"tier":"tier0"}`)); k != "A|aorta@6|7|tier0" {
+		t.Errorf("tiered key %q", k)
 	}
 	if k := rt.shardKey([]byte(`{nope`)); k != `{nope` {
 		t.Errorf("fallback key %q", k)

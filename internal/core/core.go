@@ -132,8 +132,33 @@ func (f *Framework) Workload(a *Anatomy, ranks int) (simcloud.Workload, error) {
 	return simcloud.FromPartition(a.Name, a.Solver.N(), p), nil
 }
 
-// PredictDirect evaluates the direct model for the anatomy on a system.
+// AttachTable enables the Tier 2 measured-lookup backend on every
+// dashboard entry (see Dashboard.AttachTable).
+func (f *Framework) AttachTable(tbl *perfmodel.Table) error {
+	return f.Dashboard.AttachTable(tbl)
+}
+
+// refine applies iterative-refinement feedback to a prediction. The
+// refiner's records are measured-vs-Tier-1 residuals, so its correction
+// is only meaningful on Tier 1 output: scaling a Tier 2 table value (or
+// a Tier 0 spec-sheet estimate) by a Tier 1 bias factor would
+// contaminate the other tiers' provenance.
+func (f *Framework) refine(pred perfmodel.Prediction) perfmodel.Prediction {
+	if pred.Tier != perfmodel.Tier1Calibrated {
+		return pred
+	}
+	return f.Refiner.Refine(pred)
+}
+
+// PredictDirect evaluates the direct model for the anatomy on a system
+// at the calibrated tier (Tier 1).
 func (f *Framework) PredictDirect(a *Anatomy, system string, ranks int) (perfmodel.Prediction, error) {
+	return f.PredictDirectTier(a, system, ranks, perfmodel.Tier1Calibrated)
+}
+
+// PredictDirectTier is PredictDirect at an explicit accuracy tier ("" or
+// perfmodel.TierAuto picks the best tier with data for the request).
+func (f *Framework) PredictDirectTier(a *Anatomy, system string, ranks int, tier string) (perfmodel.Prediction, error) {
 	e, err := f.Dashboard.Entry(system)
 	if err != nil {
 		return perfmodel.Prediction{}, err
@@ -142,30 +167,37 @@ func (f *Framework) PredictDirect(a *Anatomy, system string, ranks int) (perfmod
 	if err != nil {
 		return perfmodel.Prediction{}, err
 	}
-	pred, err := e.Char.Predict(perfmodel.Request{Model: perfmodel.ModelDirect, Workload: &w})
+	pred, err := e.Predict(perfmodel.Request{Model: perfmodel.ModelDirect, Workload: &w, Tier: tier})
 	if err != nil {
 		return perfmodel.Prediction{}, err
 	}
-	return f.Refiner.Refine(pred), nil
+	return f.refine(pred), nil
 }
 
 // PredictGeneral evaluates the generalized model for the anatomy on a
-// system. Rank counts may exceed the instance size (extrapolation).
+// system at the calibrated tier (Tier 1). Rank counts may exceed the
+// instance size (extrapolation).
 func (f *Framework) PredictGeneral(a *Anatomy, system string, ranks int) (perfmodel.Prediction, error) {
+	return f.PredictGeneralTier(a, system, ranks, perfmodel.Tier1Calibrated)
+}
+
+// PredictGeneralTier is PredictGeneral at an explicit accuracy tier.
+func (f *Framework) PredictGeneralTier(a *Anatomy, system string, ranks int, tier string) (perfmodel.Prediction, error) {
 	e, err := f.Dashboard.Entry(system)
 	if err != nil {
 		return perfmodel.Prediction{}, err
 	}
-	pred, err := e.Char.Predict(perfmodel.Request{
+	pred, err := e.Predict(perfmodel.Request{
 		Model:   perfmodel.ModelGeneral,
 		Summary: &a.Summary,
 		General: a.General,
 		Ranks:   ranks,
+		Tier:    tier,
 	})
 	if err != nil {
 		return perfmodel.Prediction{}, err
 	}
-	return f.Refiner.Refine(pred), nil
+	return f.refine(pred), nil
 }
 
 // Measure runs the decomposed anatomy on a system's hardware model with
@@ -262,6 +294,12 @@ func (f *Framework) PlanJob(a *Anatomy, system string, ranks, steps int, toleran
 // and job length.
 func (f *Framework) Assess(a *Anatomy, ranks, steps int) ([]dashboard.Assessment, error) {
 	return f.Dashboard.Assess(a.Summary, a.General, ranks, steps)
+}
+
+// AssessTier is Assess at an explicit accuracy tier ("" or
+// perfmodel.TierAuto picks the best tier with data per system).
+func (f *Framework) AssessTier(a *Anatomy, ranks, steps int, tier string) ([]dashboard.Assessment, error) {
+	return f.Dashboard.AssessTier(a.Summary, a.General, ranks, steps, tier)
 }
 
 // Recommend picks the best system under an objective, optionally subject

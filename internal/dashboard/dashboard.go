@@ -16,10 +16,45 @@ import (
 	"repro/internal/perfmodel"
 )
 
-// Entry is one characterized instance type in the dashboard.
+// Entry is one characterized instance type in the dashboard. Predictor
+// is its tiered prediction front door; build entries with NewEntry so
+// it is always populated (a zero Predictor falls back to Char).
 type Entry struct {
-	System *machine.System
-	Char   *perfmodel.Characterization
+	System    *machine.System
+	Char      *perfmodel.Characterization
+	Predictor *perfmodel.Predictor
+}
+
+// NewEntry composes a dashboard row's tiered predictor: Tier 0 physics
+// always, Tier 1 when a characterization is supplied, Tier 2 when a
+// measured lookup table is.
+func NewEntry(sys *machine.System, char *perfmodel.Characterization, tbl *perfmodel.Table) (Entry, error) {
+	backends := []perfmodel.Backend{perfmodel.NewPhysicsBackend(sys)}
+	if char != nil {
+		backends = append(backends, perfmodel.NewCalibratedBackend(char))
+	}
+	if tbl != nil {
+		backends = append(backends, perfmodel.NewLookupBackend(sys.Abbrev, tbl))
+	}
+	p, err := perfmodel.NewPredictor(backends...)
+	if err != nil {
+		return Entry{}, err
+	}
+	return Entry{System: sys, Char: char, Predictor: p}, nil
+}
+
+// Predict routes through the entry's tiered predictor, falling back to
+// the bare Tier 1 characterization for entries constructed literally
+// (tests, old callers).
+func (e Entry) Predict(req perfmodel.Request) (perfmodel.Prediction, error) {
+	if e.Predictor != nil {
+		return e.Predictor.Predict(req)
+	}
+	if e.Char != nil {
+		req.Tier = perfmodel.Tier1Calibrated
+		return e.Char.Predict(req)
+	}
+	return perfmodel.Prediction{}, fmt.Errorf("dashboard: entry %s has no predictor", e.System.Abbrev)
 }
 
 // Dashboard holds phase one of the framework: all instance types
@@ -40,9 +75,27 @@ func Build(systems []*machine.System, samples int, rng *rand.Rand) (*Dashboard, 
 		if err != nil {
 			return nil, err
 		}
-		d.Entries = append(d.Entries, Entry{System: sys, Char: c})
+		e, err := NewEntry(sys, c, nil)
+		if err != nil {
+			return nil, err
+		}
+		d.Entries = append(d.Entries, e)
 	}
 	return d, nil
+}
+
+// AttachTable rebuilds every entry's predictor with a Tier 2 measured
+// lookup backend over tbl, enabling TierAuto and explicit tier2
+// assessments on in-table systems.
+func (d *Dashboard) AttachTable(tbl *perfmodel.Table) error {
+	for i, e := range d.Entries {
+		ne, err := NewEntry(e.System, e.Char, tbl)
+		if err != nil {
+			return err
+		}
+		d.Entries[i] = ne
+	}
+	return nil
 }
 
 // Entry returns the dashboard row for a system abbreviation.
@@ -66,21 +119,35 @@ type Assessment struct {
 	// MFLUPSPerDollarHour is the throughput-per-price decision metric the
 	// Discussion proposes ("weight these ratios by the relative cost").
 	MFLUPSPerDollarHour float64
+	// Provenance: which accuracy tier served the prediction, its
+	// confidence band, and whether it extrapolated beyond calibration
+	// or table coverage.
+	Tier         string
+	Confidence   perfmodel.Band
+	Extrapolated bool
 }
 
 // Assess evaluates every characterized system for a workload at the given
 // rank count and job length, using the anatomy-tuned generalized model.
 // Rank counts beyond an instance's size are allowed — the model
 // extrapolates, exactly as Figure 11 rates 2048-core runs on 144-core
-// instance types.
+// instance types. Predictions come from the Tier 1 calibrated fit; use
+// AssessTier to pick another accuracy tier.
 func (d *Dashboard) Assess(ws perfmodel.WorkloadSummary, g perfmodel.GeneralModel, ranks, steps int) ([]Assessment, error) {
+	return d.AssessTier(ws, g, ranks, steps, perfmodel.Tier1Calibrated)
+}
+
+// AssessTier is Assess with an explicit accuracy tier ("" or
+// perfmodel.TierAuto picks the best tier each entry's predictor covers;
+// explicit tiers fail for entries lacking that backend's data).
+func (d *Dashboard) AssessTier(ws perfmodel.WorkloadSummary, g perfmodel.GeneralModel, ranks, steps int, tier string) ([]Assessment, error) {
 	if steps <= 0 {
 		return nil, fmt.Errorf("dashboard: steps %d must be positive", steps)
 	}
 	out := make([]Assessment, 0, len(d.Entries))
-	req := perfmodel.Request{Model: perfmodel.ModelGeneral, Summary: &ws, General: g, Ranks: ranks}
+	req := perfmodel.Request{Model: perfmodel.ModelGeneral, Summary: &ws, General: g, Ranks: ranks, Tier: tier}
 	for _, e := range d.Entries {
-		pred, err := e.Char.Predict(req)
+		pred, err := e.Predict(req)
 		if err != nil {
 			return nil, fmt.Errorf("dashboard: assessing %s: %w", e.System.Abbrev, err)
 		}
@@ -95,6 +162,9 @@ func (d *Dashboard) Assess(ws perfmodel.WorkloadSummary, g perfmodel.GeneralMode
 			Seconds:             seconds,
 			USD:                 usd,
 			MFLUPSPerDollarHour: pred.MFLUPS / hourlyPrice,
+			Tier:                pred.Tier,
+			Confidence:          pred.Confidence,
+			Extrapolated:        pred.Extrapolated,
 		})
 	}
 	return out, nil
@@ -220,12 +290,13 @@ func (d *Dashboard) Crossover(ws perfmodel.WorkloadSummary, g perfmodel.GeneralM
 		return 0, false, fmt.Errorf("dashboard: maxRanks %d must be at least 2", maxRanks)
 	}
 	for r := 2; r <= maxRanks; r *= 2 {
-		req := perfmodel.Request{Model: perfmodel.ModelGeneral, Summary: &ws, General: g, Ranks: r}
-		pa, err := ea.Char.Predict(req)
+		req := perfmodel.Request{Model: perfmodel.ModelGeneral, Summary: &ws, General: g, Ranks: r,
+			Tier: perfmodel.Tier1Calibrated}
+		pa, err := ea.Predict(req)
 		if err != nil {
 			return 0, false, err
 		}
-		pb, err := eb.Char.Predict(req)
+		pb, err := eb.Predict(req)
 		if err != nil {
 			return 0, false, err
 		}
@@ -296,16 +367,39 @@ func RenderHeatmap(as []Assessment, m [][]float64) string {
 }
 
 // RenderAssessments renders the dashboard table sorted by descending
-// throughput.
+// throughput. When any assessment carries tier provenance a Tier column
+// is appended: the tier that served the prediction, its ± confidence
+// half-width in MFLUPS, and an "extrap" marker for table extrapolation.
 func RenderAssessments(as []Assessment) string {
 	sorted := append([]Assessment(nil), as...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].MFLUPS > sorted[j].MFLUPS })
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s %8s %12s %12s %10s %14s\n",
-		"System", "Ranks", "MFLUPS", "Seconds", "USD", "MFLUPS/$*h")
+	withTier := false
 	for _, a := range sorted {
-		fmt.Fprintf(&b, "%-14s %8d %12.2f %12.2f %10.4f %14.2f\n",
+		if a.Tier != "" {
+			withTier = true
+			break
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %12s %12s %10s %14s",
+		"System", "Ranks", "MFLUPS", "Seconds", "USD", "MFLUPS/$*h")
+	if withTier {
+		fmt.Fprintf(&b, "  %s", "Tier")
+	}
+	b.WriteByte('\n')
+	for _, a := range sorted {
+		fmt.Fprintf(&b, "%-14s %8d %12.2f %12.2f %10.4f %14.2f",
 			a.System, a.Ranks, a.MFLUPS, a.Seconds, a.USD, a.MFLUPSPerDollarHour)
+		if withTier {
+			fmt.Fprintf(&b, "  %s", a.Tier)
+			if half := (a.Confidence.HiMFLUPS - a.Confidence.LoMFLUPS) / 2; half > 0 {
+				fmt.Fprintf(&b, " ±%.1f", half)
+			}
+			if a.Extrapolated {
+				b.WriteString(" extrap")
+			}
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

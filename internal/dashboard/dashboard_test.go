@@ -304,11 +304,11 @@ func TestCrossoverCloudOvertakesTRC(t *testing.T) {
 	if ranks > 2 {
 		ea, _ := d.Entry("CSP-2 EC")
 		eb, _ := d.Entry("TRC")
-		pa, err := ea.Char.PredictGeneral(big, g, ranks/2)
+		pa, err := ea.Char.Predict(perfmodel.Request{Model: perfmodel.ModelGeneral, Summary: &big, General: g, Ranks: ranks / 2})
 		if err != nil {
 			t.Fatal(err)
 		}
-		pb, err := eb.Char.PredictGeneral(big, g, ranks/2)
+		pb, err := eb.Char.Predict(perfmodel.Request{Model: perfmodel.ModelGeneral, Summary: &big, General: g, Ranks: ranks / 2})
 		if err != nil {
 			t.Fatal(err)
 		}

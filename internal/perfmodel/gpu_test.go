@@ -34,7 +34,7 @@ func TestGPUDirectModelHasCPUGPUTerm(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := simcloud.FromPartition("cyl", s.N(), p)
-	pred, err := c.PredictDirect(w)
+	pred, err := c.Predict(Request{Model: ModelDirect, Workload: &w})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestGPUDirectModelHasCPUGPUTerm(t *testing.T) {
 		t.Fatal(err)
 	}
 	w2 := simcloud.FromPartition("cyl", s.N(), p2)
-	cpuPred, err := cpuChar.PredictDirect(w2)
+	cpuPred, err := cpuChar.Predict(Request{Model: ModelDirect, Workload: &w2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestGPUModelTracksSimulatedTruth(t *testing.T) {
 			t.Fatal(err)
 		}
 		w := simcloud.FromPartition("cyl", s.N(), p)
-		pred, err := c.PredictDirect(w)
+		pred, err := c.Predict(Request{Model: ModelDirect, Workload: &w})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -129,14 +129,14 @@ func TestGeneralModelGPUHasPCIeTerm(t *testing.T) {
 		t.Fatal(err)
 	}
 	ws := WorkloadSummary{Name: "cyl", Points: s.N(), BytesSerial: s.BytesSerial(lbm.HarveyAccess())}
-	pred, err := c.PredictGeneral(ws, g, 8)
+	pred, err := c.Predict(Request{Model: ModelGeneral, Summary: &ws, General: g, Ranks: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if pred.CPUGPUs <= 0 {
 		t.Error("generalized GPU prediction missing the t_CPU-GPU term")
 	}
-	serial, err := c.PredictGeneral(ws, g, 1)
+	serial, err := c.Predict(Request{Model: ModelGeneral, Summary: &ws, General: g, Ranks: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestGeneralModelGPUHasPCIeTerm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cp, err := cpu.PredictGeneral(ws, gc, 72)
+	cp, err := cpu.Predict(Request{Model: ModelGeneral, Summary: &ws, General: gc, Ranks: 72})
 	if err != nil {
 		t.Fatal(err)
 	}

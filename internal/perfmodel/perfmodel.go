@@ -149,25 +149,23 @@ type Prediction struct {
 	CPUGPUs        float64
 	CommBandwidthS float64
 	CommLatencyS   float64
-}
 
-// PredictDirect evaluates the direct model on an actual decomposed
-// workload (Eq. 6 over Eq. 9 byte counts and real halo messages),
-// assuming node-exclusive allocation as the paper's experiments had.
-//
-// Deprecated: use Predict with a Request carrying Workload.
-func (c *Characterization) PredictDirect(w simcloud.Workload) (Prediction, error) {
-	return c.Predict(Request{Model: ModelDirect, Workload: &w})
-}
-
-// PredictDirectShared evaluates the direct model on a multi-tenant node:
-// occupancy (0..1) is the assumed fraction of the node's remaining cores
-// busy with other users' memory traffic — the shared-node consideration
-// the paper's Discussion describes.
-//
-// Deprecated: use Predict with a Request carrying Workload and Occupancy.
-func (c *Characterization) PredictDirectShared(w simcloud.Workload, occupancy float64) (Prediction, error) {
-	return c.Predict(Request{Model: ModelDirect, Workload: &w, Occupancy: occupancy})
+	// Provenance (DESIGN.md §13): which accuracy tier produced the
+	// number and how far the backend's data had to stretch to do it.
+	// All fields are comparable, so Prediction keeps struct equality.
+	Tier string
+	// Extrapolated is set when the prediction leaves the backend's
+	// data: outside the measured hull (Tier 2) or past the
+	// characterized instance's core count (Tier 1 generalized model).
+	Extrapolated bool
+	// TableDistance (Tier 2 only) is the log2-space distance to the
+	// nearest measured row; 0 on an exact hit.
+	TableDistance float64
+	// FitResidual (Tier 1 only) is 1 − min(R²) over the calibrated
+	// fits — the worst fit's unexplained variance.
+	FitResidual float64
+	// Confidence brackets MFLUPS with the tier's own error model.
+	Confidence Band
 }
 
 // predictDirect is the direct-model implementation behind Predict.
@@ -269,17 +267,10 @@ func (e EventsLaw) Eval(ntasks, nn float64) float64 {
 	return 4 * math.Log2(arg)
 }
 
-// PredictGeneral evaluates the generalized model (Eqs. 10-16) for the
-// workload summary at the given rank count. Rank counts may exceed the
-// characterized instance's size — the paper's Figure 11 extrapolates the
-// aorta to 2048 cores on 144-core cloud instances this way.
-//
-// Deprecated: use Predict with a Request carrying Summary, General and Ranks.
-func (c *Characterization) PredictGeneral(ws WorkloadSummary, g GeneralModel, ranks int) (Prediction, error) {
-	return c.Predict(Request{Model: ModelGeneral, Summary: &ws, General: g, Ranks: ranks})
-}
-
 // predictGeneral is the generalized-model implementation behind Predict.
+// Rank counts may exceed the characterized instance's size — the paper's
+// Figure 11 extrapolates the aorta to 2048 cores on 144-core cloud
+// instances this way; such predictions are flagged Extrapolated.
 func (c *Characterization) predictGeneral(ws WorkloadSummary, g GeneralModel, ranks int) (Prediction, error) {
 	if ranks < 1 {
 		return Prediction{}, fmt.Errorf("perfmodel: ranks %d must be positive", ranks)

@@ -96,7 +96,7 @@ func TestPredictDirectBasics(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := simcloud.FromPartition("cyl", s.N(), p)
-	pred, err := c.PredictDirect(w)
+	pred, err := c.Predict(Request{Model: ModelDirect, Workload: &w})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestPredictDirectBasics(t *testing.T) {
 	if pred.InterS != 0 {
 		t.Errorf("inter-node time %v on one node", pred.InterS)
 	}
-	if _, err := c.PredictDirect(simcloud.Workload{}); err == nil {
+	if _, err := c.Predict(Request{Model: ModelDirect, Workload: &simcloud.Workload{}}); err == nil {
 		t.Error("want error for empty workload")
 	}
 }
@@ -133,7 +133,7 @@ func TestPredictDirectTracksSimulatedTruth(t *testing.T) {
 			t.Fatal(err)
 		}
 		w := simcloud.FromPartition("cyl", s.N(), p)
-		pred, err := c.PredictDirect(w)
+		pred, err := c.Predict(Request{Model: ModelDirect, Workload: &w})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,14 +191,14 @@ func TestPredictGeneralBasics(t *testing.T) {
 	}
 	ws := WorkloadSummary{Name: "cyl", Points: s.N(), BytesSerial: s.BytesSerial(lbm.HarveyAccess())}
 
-	serial, err := c.PredictGeneral(ws, g, 1)
+	serial, err := c.Predict(Request{Model: ModelGeneral, Summary: &ws, General: g, Ranks: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if serial.CommBandwidthS != 0 || serial.CommLatencyS != 0 {
 		t.Error("serial prediction has communication time")
 	}
-	p36, err := c.PredictGeneral(ws, g, 36)
+	p36, err := c.Predict(Request{Model: ModelGeneral, Summary: &ws, General: g, Ranks: 36})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestPredictGeneralBasics(t *testing.T) {
 		t.Errorf("no predicted speedup: %v vs %v", p36.MFLUPS, serial.MFLUPS)
 	}
 	// Extrapolation beyond the instance size must work (Fig. 11 style).
-	p2048, err := c.PredictGeneral(ws, g, 2048)
+	p2048, err := c.Predict(Request{Model: ModelGeneral, Summary: &ws, General: g, Ranks: 2048})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,10 +214,10 @@ func TestPredictGeneralBasics(t *testing.T) {
 		t.Error("extrapolated prediction not positive")
 	}
 
-	if _, err := c.PredictGeneral(ws, g, 0); err == nil {
+	if _, err := c.Predict(Request{Model: ModelGeneral, Summary: &ws, General: g, Ranks: 0}); err == nil {
 		t.Error("want error for zero ranks")
 	}
-	if _, err := c.PredictGeneral(WorkloadSummary{}, g, 4); err == nil {
+	if _, err := c.Predict(Request{Model: ModelGeneral, Summary: &WorkloadSummary{}, General: g, Ranks: 4}); err == nil {
 		t.Error("want error for empty summary")
 	}
 }
@@ -240,11 +240,11 @@ func TestGeneralTracksDirect(t *testing.T) {
 			t.Fatal(err)
 		}
 		w := simcloud.FromPartition("cyl", s.N(), p)
-		direct, err := c.PredictDirect(w)
+		direct, err := c.Predict(Request{Model: ModelDirect, Workload: &w})
 		if err != nil {
 			t.Fatal(err)
 		}
-		general, err := c.PredictGeneral(ws, g, ranks)
+		general, err := c.Predict(Request{Model: ModelGeneral, Summary: &ws, General: g, Ranks: ranks})
 		if err != nil {
 			t.Fatal(err)
 		}

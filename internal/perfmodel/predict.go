@@ -2,17 +2,18 @@ package perfmodel
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/simcloud"
 )
 
-// This file is the package's single prediction entrypoint. The four
+// This file is the calibrated (Tier 1) prediction entrypoint. The four
 // historical entrypoints (PredictDirect, PredictDirectShared,
-// PredictGeneral, PredictWithTerms) survive as thin deprecated wrappers
-// so published call sites keep compiling, but every internal caller —
-// campaign, fleet placement, the dashboard, the experiment harness, and
-// the HTTP planning service — goes through Predict, so a behavior change
-// lands in exactly one place.
+// PredictGeneral, PredictWithTerms) are gone; every caller — campaign,
+// fleet placement, the dashboard, the experiment harness, and the HTTP
+// planning service — goes through Predict, either directly on a
+// Characterization or via a tiered Predictor (backend.go), so a
+// behavior change lands in exactly one place.
 
 // Model names for Request.Model and Prediction.Model.
 const (
@@ -57,11 +58,30 @@ type Request struct {
 	// model it is implied by the decomposition; a non-zero value that
 	// disagrees with len(Workload.Tasks) is rejected.
 	Ranks int
+
+	// Tier selects the accuracy tier (tier.go). On a Predictor, "" and
+	// TierAuto fall back Tier 2 → 1 → 0 by data availability; a bare
+	// Characterization serves "" and Tier1Calibrated only.
+	Tier string
+
+	// Kernel names the compute kernel for Tier 2 table lookups
+	// (DefaultKernel when empty). The analytical tiers ignore it: their
+	// byte counts already encode the access pattern.
+	Kernel string
 }
 
-// Predict evaluates the requested model. It is the one call path behind
-// both the CLI tools and the serving layer's POST /v1/predict.
+// Predict evaluates the requested model at Tier 1: the fitted
+// microbenchmark models this Characterization holds. It is the one call
+// path behind both the CLI tools and the serving layer's POST
+// /v1/predict; other tiers are reached through a Predictor.
 func (c *Characterization) Predict(req Request) (Prediction, error) {
+	if req.Tier != "" && req.Tier != Tier1Calibrated {
+		if err := checkTier(req.Tier); err != nil {
+			return Prediction{}, err
+		}
+		return Prediction{}, fmt.Errorf("perfmodel: a bare characterization serves tier %q only (requested %q); use a Predictor for other tiers",
+			Tier1Calibrated, req.Tier)
+	}
 	model := req.Model
 	if model == "" {
 		switch {
@@ -75,6 +95,10 @@ func (c *Characterization) Predict(req Request) (Prediction, error) {
 			return Prediction{}, fmt.Errorf("perfmodel: request carries neither a decomposed workload nor a workload summary")
 		}
 	}
+	var (
+		p   Prediction
+		err error
+	)
 	switch model {
 	case ModelDirect:
 		if req.Workload == nil {
@@ -84,19 +108,14 @@ func (c *Characterization) Predict(req Request) (Prediction, error) {
 			return Prediction{}, fmt.Errorf("perfmodel: request asks for %d ranks but the workload decomposes into %d tasks",
 				req.Ranks, len(req.Workload.Tasks))
 		}
-		base, err := c.predictDirect(*req.Workload, req.Occupancy)
-		if err != nil {
-			return Prediction{}, err
+		p, err = c.predictDirect(*req.Workload, req.Occupancy)
+		if err == nil && len(req.Terms) > 0 {
+			base := p
+			for _, term := range req.Terms {
+				p.SecondsPerStep += term.Eval(*req.Workload, base)
+			}
+			p.MFLUPS = float64(req.Workload.Points) / p.SecondsPerStep / 1e6
 		}
-		if len(req.Terms) == 0 {
-			return base, nil
-		}
-		out := base
-		for _, term := range req.Terms {
-			out.SecondsPerStep += term.Eval(*req.Workload, base)
-		}
-		out.MFLUPS = float64(req.Workload.Points) / out.SecondsPerStep / 1e6
-		return out, nil
 	case ModelGeneral:
 		if req.Summary == nil {
 			return Prediction{}, fmt.Errorf("perfmodel: generalized model needs a workload summary")
@@ -104,7 +123,71 @@ func (c *Characterization) Predict(req Request) (Prediction, error) {
 		if len(req.Terms) > 0 {
 			return Prediction{}, fmt.Errorf("perfmodel: terms apply to the direct model only")
 		}
-		return c.predictGeneral(*req.Summary, req.General, req.Ranks)
+		p, err = c.predictGeneral(*req.Summary, req.General, req.Ranks)
+		if err == nil && req.Ranks > c.TotalCores {
+			// Figure 11 territory: ranks beyond the characterized
+			// instance — the fits are being stretched past their data.
+			p.Extrapolated = true
+		}
+	default:
+		return Prediction{}, fmt.Errorf("perfmodel: unknown model %q", model)
 	}
-	return Prediction{}, fmt.Errorf("perfmodel: unknown model %q", model)
+	if err != nil {
+		return Prediction{}, err
+	}
+	p.Tier = Tier1Calibrated
+	p.FitResidual = c.fitResidual()
+	p.Confidence = band(p.MFLUPS, Tier1BaseConfidenceRel+p.FitResidual)
+	return p, nil
+}
+
+// Tier1BaseConfidenceRel is the calibrated tier's confidence half-width
+// floor — the error Table I reports even where the fits are perfect
+// (model-form error: block placement, Eq. 13's geometric halo). The fit
+// residual widens the band on noisy characterizations.
+const Tier1BaseConfidenceRel = 0.15
+
+// fitResidual is 1 − min(R²) over the three calibrated fits.
+func (c *Characterization) fitResidual() float64 {
+	r2 := math.Min(c.FitQuality.MemR2, math.Min(c.FitQuality.InterR2, c.FitQuality.IntraR2))
+	if r2 > 1 {
+		r2 = 1
+	}
+	if r2 < 0 {
+		r2 = 0
+	}
+	return 1 - r2
+}
+
+// CalibratedBackend adapts a Characterization to the Backend interface:
+// it is Tier 1 of a Predictor. The zero-config and measured tiers live
+// in tier0.go and tier2.go.
+type CalibratedBackend struct {
+	Char *Characterization
+}
+
+// NewCalibratedBackend wraps a characterization as the Tier 1 backend.
+func NewCalibratedBackend(c *Characterization) *CalibratedBackend {
+	return &CalibratedBackend{Char: c}
+}
+
+// Tier returns Tier1Calibrated.
+func (b *CalibratedBackend) Tier() string { return Tier1Calibrated }
+
+// Covers reports whether the calibrated fits can serve the request —
+// any decomposed workload or summary, including terms and occupancy.
+func (b *CalibratedBackend) Covers(req Request) bool {
+	if b.Char == nil {
+		return false
+	}
+	return req.Workload != nil || req.Summary != nil
+}
+
+// Predict evaluates the request at Tier 1.
+func (b *CalibratedBackend) Predict(req Request) (Prediction, error) {
+	if b.Char == nil {
+		return Prediction{}, fmt.Errorf("%w: no characterization for tier %q", ErrNoData, Tier1Calibrated)
+	}
+	req.Tier = Tier1Calibrated
+	return b.Char.Predict(req)
 }

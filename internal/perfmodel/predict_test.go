@@ -1,6 +1,7 @@
 package perfmodel
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -20,52 +21,117 @@ func testWorkload(t *testing.T, ranks int) (*lbm.Sparse, simcloud.Workload) {
 	return s, simcloud.FromPartition("cyl", s.N(), p)
 }
 
-// TestPredictMatchesDeprecatedEntrypoints pins the API redesign's core
-// contract: the unified Predict call returns byte-identical predictions
-// to each of the historical entrypoints it replaced.
-func TestPredictMatchesDeprecatedEntrypoints(t *testing.T) {
+// closeTo pins a float against a golden value to a relative tolerance
+// loose enough to survive FP-order-of-evaluation differences across
+// architectures but tight enough to catch any model change.
+func closeTo(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s = %v, want 0", name, got)
+		}
+		return
+	}
+	if math.Abs(got-want)/math.Abs(want) > 1e-9 {
+		t.Errorf("%s = %v, want %v (rel err %.2e)", name, got, want, math.Abs(got-want)/math.Abs(want))
+	}
+}
+
+// TestPredictTier1Golden pins the Tier 1 calibrated model against golden
+// values. The deleted deprecated wrappers (PredictDirect and friends)
+// were thin forwards to Predict, and their equivalence test proved that;
+// these goldens were recorded from that same noiseless CSP-2 path, so
+// they also pin that the wrapper deletion changed no numbers.
+func TestPredictTier1Golden(t *testing.T) {
 	c := characterizeNoiseless(t, machine.NewCSP2())
 	s, w := testWorkload(t, 16)
 
-	wantDirect, err := c.PredictDirect(w)
+	direct, err := c.Predict(Request{Workload: &w})
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotDirect, err := c.Predict(Request{Workload: &w})
-	if err != nil {
-		t.Fatal(err)
+	if direct.Model != ModelDirect || direct.System != "CSP-2" || direct.Ranks != 16 {
+		t.Fatalf("direct header = %q/%q/%d", direct.Model, direct.System, direct.Ranks)
 	}
-	if gotDirect != wantDirect {
-		t.Errorf("Predict(direct) = %+v, want %+v", gotDirect, wantDirect)
-	}
+	closeTo(t, "direct.MFLUPS", direct.MFLUPS, 177.26293215118187)
+	closeTo(t, "direct.SecondsPerStep", direct.SecondsPerStep, 6.850840078422471e-05)
 
-	wantShared, err := c.PredictDirectShared(w, 0.5)
+	shared, err := c.Predict(Request{Model: ModelDirect, Workload: &w, Occupancy: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotShared, err := c.Predict(Request{Model: ModelDirect, Workload: &w, Occupancy: 0.5})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if gotShared != wantShared {
-		t.Errorf("Predict(direct, occupancy) = %+v, want %+v", gotShared, wantShared)
-	}
+	closeTo(t, "shared.MFLUPS", shared.MFLUPS, 134.36784684327878)
 
 	g, err := CalibrateGeneral(s, lbm.HarveyAccess(), []int{1, 2, 4, 8, 16, 32}, 36)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ws := WorkloadSummary{Name: "cyl", Points: s.N(), BytesSerial: s.BytesSerial(lbm.HarveyAccess())}
-	wantGen, err := c.PredictGeneral(ws, g, 16)
+	gen, err := c.Predict(Request{Summary: &ws, General: g, Ranks: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotGen, err := c.Predict(Request{Summary: &ws, General: g, Ranks: 16})
+	if gen.Model != ModelGeneral {
+		t.Fatalf("general model = %q", gen.Model)
+	}
+	closeTo(t, "general.MFLUPS", gen.MFLUPS, 167.00156125078988)
+}
+
+// TestPredictTier1Provenance checks the provenance stamped on every
+// calibrated prediction: tier name, fit residual, confidence band, and
+// the Figure-11 extrapolation flag.
+func TestPredictTier1Provenance(t *testing.T) {
+	c := characterizeNoiseless(t, machine.NewCSP2())
+	s, w := testWorkload(t, 16)
+
+	p, err := c.Predict(Request{Workload: &w})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if gotGen != wantGen {
-		t.Errorf("Predict(general) = %+v, want %+v", gotGen, wantGen)
+	if p.Tier != Tier1Calibrated {
+		t.Errorf("Tier = %q, want %q", p.Tier, Tier1Calibrated)
+	}
+	if p.Extrapolated {
+		t.Error("in-range direct prediction flagged extrapolated")
+	}
+	if p.FitResidual < 0 || p.FitResidual > 0.5 {
+		t.Errorf("FitResidual = %v out of plausible range", p.FitResidual)
+	}
+	if p.Confidence.LoMFLUPS >= p.MFLUPS || p.Confidence.HiMFLUPS <= p.MFLUPS {
+		t.Errorf("confidence band %+v does not bracket MFLUPS %v", p.Confidence, p.MFLUPS)
+	}
+
+	// Tier selector on a bare characterization: "" and tier1 work,
+	// other tiers are refused, junk is named invalid.
+	if _, err := c.Predict(Request{Workload: &w, Tier: Tier1Calibrated}); err != nil {
+		t.Errorf("explicit tier1 rejected: %v", err)
+	}
+	if _, err := c.Predict(Request{Workload: &w, Tier: Tier2Measured}); err == nil {
+		t.Error("bare characterization accepted tier2")
+	}
+	if _, err := c.Predict(Request{Workload: &w, Tier: "best"}); err == nil || !strings.Contains(err.Error(), "valid") {
+		t.Errorf("unknown tier error %v does not name the valid set", err)
+	}
+
+	// Ranks beyond the characterized instance flag extrapolation.
+	g, err := CalibrateGeneral(s, lbm.HarveyAccess(), []int{1, 2, 4, 8}, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := WorkloadSummary{Name: "cyl", Points: s.N(), BytesSerial: s.BytesSerial(lbm.HarveyAccess())}
+	far, err := c.Predict(Request{Summary: &ws, General: g, Ranks: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !far.Extrapolated {
+		t.Error("2048 ranks on a 144-core characterization not flagged extrapolated")
+	}
+	near, err := c.Predict(Request{Summary: &ws, General: g, Ranks: 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near.Extrapolated {
+		t.Error("in-range generalized prediction flagged extrapolated")
 	}
 }
 
@@ -116,6 +182,8 @@ func TestPredictValidation(t *testing.T) {
 		{"direct without workload", Request{Model: ModelDirect}, "needs a decomposed workload"},
 		{"general without summary", Request{Model: ModelGeneral}, "needs a workload summary"},
 		{"unknown model", Request{Model: "quantum", Workload: &w}, "unknown model"},
+		{"unknown tier", Request{Workload: &w, Tier: "tier9"}, "unknown tier"},
+		{"foreign tier", Request{Workload: &w, Tier: Tier0Physics}, "use a Predictor"},
 	}
 	for _, tc := range cases {
 		_, err := c.Predict(tc.req)

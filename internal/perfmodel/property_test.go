@@ -24,11 +24,11 @@ func TestGeneralMonotoneInBytes(t *testing.T) {
 		bigger := base
 		bigger.BytesSerial *= 1 + scale
 		ranks := 2 + rng.Intn(140)
-		p1, err := c.PredictGeneral(base, g, ranks)
+		p1, err := c.Predict(Request{Model: ModelGeneral, Summary: &base, General: g, Ranks: ranks})
 		if err != nil {
 			return false
 		}
-		p2, err := c.PredictGeneral(bigger, g, ranks)
+		p2, err := c.Predict(Request{Model: ModelGeneral, Summary: &bigger, General: g, Ranks: ranks})
 		if err != nil {
 			return false
 		}
@@ -56,11 +56,11 @@ func TestGeneralMonotoneInLatency(t *testing.T) {
 	slow.Inter.LatencyUS = c.Inter.LatencyUS * 10
 	ws := WorkloadSummary{Name: "w", Points: 100000, BytesSerial: 3.5e7}
 	for _, ranks := range []int{72, 144, 512} { // multi-node
-		fast, err := c.PredictGeneral(ws, g, ranks)
+		fast, err := c.Predict(Request{Model: ModelGeneral, Summary: &ws, General: g, Ranks: ranks})
 		if err != nil {
 			t.Fatal(err)
 		}
-		lagged, err := slow.PredictGeneral(ws, g, ranks)
+		lagged, err := slow.Predict(Request{Model: ModelGeneral, Summary: &ws, General: g, Ranks: ranks})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,11 +77,11 @@ func TestGeneralMoreImbalanceSlower(t *testing.T) {
 	skewed := GeneralModel{Z: logLaw(0.5, 0.05), Events: DefaultEventsLaw(), PointCommBytes: DefaultPointCommBytes}
 	ws := WorkloadSummary{Name: "w", Points: 100000, BytesSerial: 3.5e7}
 	for _, ranks := range []int{8, 64, 256} {
-		pb, err := c.PredictGeneral(ws, balanced, ranks)
+		pb, err := c.Predict(Request{Model: ModelGeneral, Summary: &ws, General: balanced, Ranks: ranks})
 		if err != nil {
 			t.Fatal(err)
 		}
-		psk, err := c.PredictGeneral(ws, skewed, ranks)
+		psk, err := c.Predict(Request{Model: ModelGeneral, Summary: &ws, General: skewed, Ranks: ranks})
 		if err != nil {
 			t.Fatal(err)
 		}

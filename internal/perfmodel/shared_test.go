@@ -23,15 +23,15 @@ func sharedFixture(t *testing.T) (*Characterization, simcloud.Workload, *machine
 
 func TestSharedNodeSlowsPrediction(t *testing.T) {
 	c, w, _ := sharedFixture(t)
-	exclusive, err := c.PredictDirectShared(w, 0)
+	exclusive, err := c.Predict(Request{Model: ModelDirect, Workload: &w, Occupancy: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	half, err := c.PredictDirectShared(w, 0.5)
+	half, err := c.Predict(Request{Model: ModelDirect, Workload: &w, Occupancy: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := c.PredictDirectShared(w, 1)
+	full, err := c.Predict(Request{Model: ModelDirect, Workload: &w, Occupancy: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestSharedNodeSlowsPrediction(t *testing.T) {
 func TestSharedNodeMatchesSimulatedTruth(t *testing.T) {
 	c, w, sys := sharedFixture(t)
 	for _, occ := range []float64{0, 0.5, 1} {
-		pred, err := c.PredictDirectShared(w, occ)
+		pred, err := c.Predict(Request{Model: ModelDirect, Workload: &w, Occupancy: occ})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -65,10 +65,10 @@ func TestSharedNodeMatchesSimulatedTruth(t *testing.T) {
 
 func TestSharedValidation(t *testing.T) {
 	c, w, sys := sharedFixture(t)
-	if _, err := c.PredictDirectShared(w, -0.1); err == nil {
+	if _, err := c.Predict(Request{Model: ModelDirect, Workload: &w, Occupancy: -0.1}); err == nil {
 		t.Error("want error for negative occupancy")
 	}
-	if _, err := c.PredictDirectShared(w, 1.1); err == nil {
+	if _, err := c.Predict(Request{Model: ModelDirect, Workload: &w, Occupancy: 1.1}); err == nil {
 		t.Error("want error for occupancy above 1")
 	}
 	if _, err := simcloud.RunOpts(w, sys, 10, nil, simcloud.Options{SharedOccupancy: 2}); err == nil {
@@ -79,11 +79,11 @@ func TestSharedValidation(t *testing.T) {
 func TestExclusiveSharedEquivalence(t *testing.T) {
 	// Occupancy 0 must be exactly the node-exclusive prediction and run.
 	c, w, sys := sharedFixture(t)
-	a, err := c.PredictDirect(w)
+	a, err := c.Predict(Request{Model: ModelDirect, Workload: &w})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := c.PredictDirectShared(w, 0)
+	b, err := c.Predict(Request{Model: ModelDirect, Workload: &w, Occupancy: 0})
 	if err != nil {
 		t.Fatal(err)
 	}

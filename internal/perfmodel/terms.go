@@ -165,10 +165,3 @@ func (c *Characterization) SelectTerms(candidates []Term, obs []Observation, min
 	res.FinalMAPE = current
 	return res, nil
 }
-
-// PredictWithTerms evaluates the direct model plus the given terms.
-//
-// Deprecated: use Predict with a Request carrying Workload and Terms.
-func (c *Characterization) PredictWithTerms(w simcloud.Workload, terms []Term) (Prediction, error) {
-	return c.Predict(Request{Model: ModelDirect, Workload: &w, Terms: terms})
-}

@@ -107,11 +107,11 @@ func TestPredictWithTerms(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := simcloud.FromPartition("cyl", s.N(), p)
-	base, err := c.PredictDirect(w)
+	base, err := c.Predict(Request{Model: ModelDirect, Workload: &w})
 	if err != nil {
 		t.Fatal(err)
 	}
-	withTerm, err := c.PredictWithTerms(w, []Term{OverheadTerm(0.18)})
+	withTerm, err := c.Predict(Request{Model: ModelDirect, Workload: &w, Terms: []Term{OverheadTerm(0.18)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestCouplingTermScalesWithBytes(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := simcloud.FromPartition("cyl", s.N(), p)
-	base, err := c.PredictDirect(w)
+	base, err := c.Predict(Request{Model: ModelDirect, Workload: &w})
 	if err != nil {
 		t.Fatal(err)
 	}

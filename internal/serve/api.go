@@ -47,6 +47,12 @@ type PredictRequest struct {
 	// selects the generalized model, the hot stateless path.
 	Model string `json:"model,omitempty"`
 
+	// Tier selects the accuracy tier: "tier0" (physics), "tier1"
+	// (calibrated), "tier2" (measured lookup), or "auto" (best
+	// available). Empty keeps the pre-tier behavior, the calibrated
+	// Tier 1 path — old clients see the responses they always did.
+	Tier string `json:"tier,omitempty"`
+
 	// Occupancy models shared-node co-tenancy (direct model only).
 	Occupancy float64 `json:"occupancy,omitempty"`
 
@@ -76,10 +82,37 @@ func (r PredictRequest) validate() error {
 	default:
 		return fmt.Errorf("model %q must be %q or %q", r.Model, perfmodel.ModelDirect, perfmodel.ModelGeneral)
 	}
+	if err := validateTier(r.Tier); err != nil {
+		return err
+	}
 	if r.Occupancy < 0 || r.Occupancy > 1 {
 		return fmt.Errorf("occupancy %g outside [0,1]", r.Occupancy)
 	}
 	return nil
+}
+
+// validateTier rejects unknown tier values up front (→ 400), naming the
+// accepted set. Empty is allowed: it keeps the legacy Tier 1 behavior.
+func validateTier(tier string) error {
+	switch tier {
+	case "", perfmodel.TierAuto, perfmodel.Tier0Physics, perfmodel.Tier1Calibrated, perfmodel.Tier2Measured:
+		return nil
+	}
+	return fmt.Errorf("tier %q must be one of %v (or empty for the default %q)",
+		tier, perfmodel.ValidTiers(), perfmodel.Tier1Calibrated)
+}
+
+// ConfidenceJSON is a prediction's deterministic confidence band.
+type ConfidenceJSON struct {
+	LoMFLUPS float64 `json:"lo_mflups"`
+	HiMFLUPS float64 `json:"hi_mflups"`
+}
+
+func confidenceJSON(b perfmodel.Band) *ConfidenceJSON {
+	if b == (perfmodel.Band{}) {
+		return nil
+	}
+	return &ConfidenceJSON{LoMFLUPS: b.LoMFLUPS, HiMFLUPS: b.HiMFLUPS}
 }
 
 // PredictionJSON is one model evaluation in a response.
@@ -97,6 +130,13 @@ type PredictionJSON struct {
 	CPUGPUs        float64 `json:"cpu_gpu_s,omitempty"`
 	CommBandwidthS float64 `json:"comm_bandwidth_s,omitempty"`
 	CommLatencyS   float64 `json:"comm_latency_s,omitempty"`
+
+	// Provenance (additive, v1-compatible): which accuracy tier served
+	// the prediction, its confidence band, and whether the tier
+	// extrapolated beyond its calibration or table coverage.
+	Tier         string          `json:"tier,omitempty"`
+	Confidence   *ConfidenceJSON `json:"confidence,omitempty"`
+	Extrapolated bool            `json:"extrapolated,omitempty"`
 }
 
 func predictionJSON(p perfmodel.Prediction) PredictionJSON {
@@ -112,6 +152,9 @@ func predictionJSON(p perfmodel.Prediction) PredictionJSON {
 		CPUGPUs:        p.CPUGPUs,
 		CommBandwidthS: p.CommBandwidthS,
 		CommLatencyS:   p.CommLatencyS,
+		Tier:           p.Tier,
+		Confidence:     confidenceJSON(p.Confidence),
+		Extrapolated:   p.Extrapolated,
 	}
 }
 
@@ -135,6 +178,10 @@ type PlanRequest struct {
 	// Objective is max-throughput, min-cost, min-time or max-value
 	// (default).
 	Objective string `json:"objective,omitempty"`
+
+	// Tier selects the accuracy tier for the assessments (see
+	// PredictRequest.Tier); empty keeps the calibrated Tier 1 default.
+	Tier string `json:"tier,omitempty"`
 
 	// MaxUSD excludes systems whose predicted job cost exceeds it
 	// (0 = unbounded); DeadlineS excludes systems whose predicted time
@@ -163,7 +210,7 @@ func (r PlanRequest) validate() error {
 	if r.DeadlineS < 0 {
 		return fmt.Errorf("deadline_s %g negative", r.DeadlineS)
 	}
-	return nil
+	return validateTier(r.Tier)
 }
 
 // AssessmentJSON is one instance type's predicted verdict for the job.
@@ -174,6 +221,11 @@ type AssessmentJSON struct {
 	Seconds             float64 `json:"seconds"`
 	USD                 float64 `json:"usd"`
 	MFLUPSPerDollarHour float64 `json:"mflups_per_dollar_hour"`
+
+	// Provenance (additive, v1-compatible), mirroring PredictionJSON.
+	Tier         string          `json:"tier,omitempty"`
+	Confidence   *ConfidenceJSON `json:"confidence,omitempty"`
+	Extrapolated bool            `json:"extrapolated,omitempty"`
 }
 
 // PlanResponse reports the recommendation. Recommended is null when no

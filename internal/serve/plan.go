@@ -15,6 +15,9 @@ func assessmentJSON(a dashboard.Assessment) AssessmentJSON {
 		Seconds:             a.Seconds,
 		USD:                 a.USD,
 		MFLUPSPerDollarHour: a.MFLUPSPerDollarHour,
+		Tier:                a.Tier,
+		Confidence:          confidenceJSON(a.Confidence),
+		Extrapolated:        a.Extrapolated,
 	}
 }
 
@@ -48,15 +51,17 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if seed == 0 {
 		seed = s.cfg.DefaultSeed
 	}
+	tier := normalizeTier(req.Tier)
 
 	// The generalized model's laws are machine-independent (each
 	// calibration tunes them against the same solver at the same node
 	// width), so the first calibration's summary+laws serve the whole
-	// assessment; each entry contributes its own machine characterization.
+	// assessment; each entry contributes its own machine characterization
+	// and tiered predictor.
 	entries := make([]dashboard.Entry, 0, len(systems))
 	var first *calibration
 	for _, name := range systems {
-		cal, _, err := s.calibrationFor(ctx, name, req.Workload, seed)
+		cal, _, err := s.calibrationFor(ctx, name, req.Workload, seed, tier)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -64,10 +69,10 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		if first == nil {
 			first = cal
 		}
-		entries = append(entries, dashboard.Entry{System: cal.sys, Char: cal.char})
+		entries = append(entries, dashboard.Entry{System: cal.sys, Char: cal.char, Predictor: cal.pred})
 	}
 	d := &dashboard.Dashboard{Entries: entries}
-	as, err := d.Assess(first.summary, first.general, req.Ranks, req.Steps)
+	as, err := d.AssessTier(first.summary, first.general, req.Ranks, req.Steps, tier)
 	if err != nil {
 		writeErr(w, err)
 		return

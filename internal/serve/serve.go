@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/perfmodel"
 )
 
 // Config shapes a Server. Zero fields take the documented defaults.
@@ -54,6 +55,11 @@ type Config struct {
 	// Samples controls microbenchmark averaging per characterization
 	// point (default 5, matching the CLIs).
 	Samples int
+
+	// Table is the Tier 2 measured-lookup table. Nil loads the embedded
+	// default (internal/perfmodel/tables); if that fails, Tier 2 is
+	// simply unavailable and explicit tier2 requests answer 400.
+	Table *perfmodel.Table
 
 	// DefaultSeed seeds calibrations for requests that omit a seed.
 	DefaultSeed int64
@@ -135,6 +141,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.Table == nil {
+		// Best effort: without a table the service still serves tiers
+		// 0/1; explicit tier2 requests get perfmodel.ErrNoData → 400.
+		if tbl, err := perfmodel.DefaultTable(); err == nil {
+			cfg.Table = tbl
+		}
 	}
 	reg := cfg.Registry
 	if reg == nil {
@@ -320,6 +333,10 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, perfmodel.ErrNoData):
+		// An explicit tier the server has no data for is a client-side
+		// request problem, not a server fault.
+		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
 }
@@ -461,10 +478,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if model == "" {
 		model = "generalized"
 	}
+	tier := normalizeTier(req.Tier)
 
 	resp := PredictResponse{Predictions: make([]PredictionJSON, 0, len(systems)*len(req.Ranks))}
 	for _, sysName := range systems {
-		cal, res, err := s.calibrationFor(ctx, sysName, req.Workload, seed)
+		cal, res, err := s.calibrationFor(ctx, sysName, req.Workload, seed, tier)
 		if err != nil {
 			writeErr(w, err)
 			return
